@@ -1,0 +1,91 @@
+(* Shared machinery for the experiment harness (see DESIGN.md §4 for the
+   experiment index).  Every experiment is a deterministic function of the
+   master seed below, so the tables in EXPERIMENTS.md can be regenerated
+   exactly. *)
+
+open Core
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Engine = Radiosim.Engine
+module Trace = Radiosim.Trace
+module M = Localcast.Messages
+module Params = Localcast.Params
+module L = Localcast
+
+let master_seed = 20260706
+
+(* Quick mode: fewer trials, smaller sweeps; set from the command line. *)
+let quick = ref false
+
+let trials_scaled n = if !quick then max 2 (n / 4) else n
+
+let section title =
+  Printf.printf "\n######## %s ########\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+(* --- standard topologies --- *)
+
+let random_field ~seed ~n ?(width = 4.0) ?(r = 1.5) ?(gray = 0.5) () =
+  Geo.random_field ~rng:(Prng.Rng.of_int seed) ~n ~width ~height:width ~r
+    ~gray_g':gray ()
+
+(* --- seed agreement trial --- *)
+
+type seed_outcome = {
+  seed_report : L.Seed_spec.report;
+  decisions : (int * M.seed_announcement) list array;
+}
+
+let run_seed_trial ~dual ~params ~delta_bound ~scheduler ~seed =
+  let n = Dual.n dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = L.Seed_alg.network params ~rng ~n in
+  let trace, observer = Trace.recorder () in
+  let (_ : int) =
+    Engine.run ~observer ~dual ~scheduler ~nodes
+      ~env:(Radiosim.Env.null ~name:"seed" ())
+      ~rounds:(L.Seed_alg.duration params)
+      ()
+  in
+  let decisions = L.Seed_spec.decisions_of_trace trace ~n in
+  { seed_report = L.Seed_spec.check ~dual ~delta_bound ~decisions; decisions }
+
+(* --- local broadcast trial --- *)
+
+let run_lb_trial ?(scheduler_of_seed = fun seed -> Sch.bernoulli ~seed ~p:0.5)
+    ?observer ~dual ~params ~senders ~phases ~seed () =
+  let outcome =
+    L.Service.run ~scheduler:(scheduler_of_seed seed) ?observer ~dual ~params
+      ~senders ~phases ~seed ()
+  in
+  (outcome.L.Service.report, outcome.L.Service.env_log)
+
+(* One-shot reliability trial: node 0 broadcasts once at round 0; runs the
+   full derived acknowledgement window. *)
+let run_reliability_trial ~dual ~params ~seed =
+  let outcome, completion = L.Service.one_shot ~dual ~params ~sender:0 ~seed () in
+  (outcome.L.Service.report, completion)
+
+let lbalg_first_reception ~dual ~params ~scheduler ~receiver ~seed ~max_rounds =
+  L.Service.first_reception ~scheduler ~dual ~params ~receiver ~max_rounds ~seed ()
+
+let decay_first_reception ~dual ~scheduler ~receiver ~seed ~max_rounds =
+  let levels = Baseline.Decay.levels_for ~delta':(Dual.delta' dual) in
+  let rng = Prng.Rng.of_int seed in
+  let nodes =
+    Array.init (Dual.n dual) (fun v ->
+        if v = receiver then Baseline.Harness.receiver ()
+        else
+          Baseline.Decay.node ~levels
+            ~message:(M.payload ~src:v ~uid:0 ())
+            ~rng:(Prng.Rng.split rng))
+  in
+  Baseline.Harness.first_reception ~dual ~scheduler ~nodes ~receiver ~max_rounds
+
+let mean_option_latency ~max_rounds samples =
+  let value = function Some l -> float_of_int l | None -> float_of_int max_rounds in
+  Stats.Summary.mean (List.map value samples)
+
+let starved samples = Stats.Experiment.count (fun s -> s = None) samples

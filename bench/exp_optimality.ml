@@ -1,0 +1,164 @@
+(* Experiment E16: the paper's near-optimality discussion (§1, Results).
+
+   Two lower-bound shapes are claimed:
+
+   (a) "any progress bound ... requires logarithmic rounds" — progress
+       reduces to symmetry breaking among an UNKNOWN number of
+       contenders [21].  We show it empirically: a fixed transmission
+       probability p is only good for one contention scale; sweeping the
+       (hidden) number of active senders m makes every fixed p fail
+       somewhere, while a log Δ-level Decay sweep — and LBAlg's log Δ
+       level selection — stay uniformly good.  The log Δ factor in
+       t_prog buys exactly this uniformity.
+
+   (b) "any acknowledgement bound requires at least Δ rounds" — a
+       receiver adjacent to Δ broadcasters receives at most one message
+       per round, so some broadcaster waits Δ rounds.  We saturate a
+       clique and measure the time until EVERY sender's message has been
+       received by a common neighbor: it must be ≥ Δ - 1 rounds; LBAlg's
+       t_ack = O(Δ polylog) is a polylog factor above that floor. *)
+
+open Core
+open Exp_common
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Engine = Radiosim.Engine
+module Trace = Radiosim.Trace
+module M = Localcast.Messages
+module P = Radiosim.Process
+module Table = Stats.Table
+
+(* (a) mean rounds until receiver 0 hears something when exactly [m] of
+   the clique's senders are active and every active sender transmits with
+   probability [p] each round. *)
+let fixed_p_latency ~delta ~m ~p ~seed ~max_rounds =
+  let dual = Geo.clique (delta + 1) in
+  let rng = Prng.Rng.of_int seed in
+  let nodes =
+    Array.init (delta + 1) (fun v ->
+        if v = 0 || v > m then Baseline.Harness.receiver ()
+        else
+          Baseline.Uniform.node ~p
+            ~message:(M.payload ~src:v ~uid:0 ())
+            ~rng:(Prng.Rng.split rng))
+  in
+  Baseline.Harness.first_reception ~dual ~scheduler:Sch.reliable_only ~nodes
+    ~receiver:0 ~max_rounds
+
+let decay_latency ~delta ~m ~seed ~max_rounds =
+  let dual = Geo.clique (delta + 1) in
+  let rng = Prng.Rng.of_int seed in
+  let levels = Baseline.Decay.levels_for ~delta':(delta + 1) in
+  let nodes =
+    Array.init (delta + 1) (fun v ->
+        if v = 0 || v > m then Baseline.Harness.receiver ()
+        else
+          Baseline.Decay.node ~levels
+            ~message:(M.payload ~src:v ~uid:0 ())
+            ~rng:(Prng.Rng.split rng))
+  in
+  Baseline.Harness.first_reception ~dual ~scheduler:Sch.reliable_only ~nodes
+    ~receiver:0 ~max_rounds
+
+let e16a () =
+  let delta = 64 in
+  let max_rounds = 5000 in
+  let trials = trials_scaled 20 in
+  let table =
+    Table.create
+      ~title:
+        "E16a: symmetry breaking with unknown contention (clique delta=64, \
+         mean latency)"
+      ~columns:
+        [ "active m"; "p=1/2"; "p=1/8"; "p=1/64"; "decay (log-sweep)" ]
+  in
+  let mean f =
+    mean_option_latency ~max_rounds
+      (Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
+           f ~seed))
+  in
+  List.iter
+    (fun m ->
+      let fixed p = mean (fun ~seed -> fixed_p_latency ~delta ~m ~p ~seed ~max_rounds) in
+      let decay = mean (fun ~seed -> decay_latency ~delta ~m ~seed ~max_rounds) in
+      Table.add_row table
+        [
+          Table.cell_int m;
+          Table.cell_float ~decimals:1 (fixed 0.5);
+          Table.cell_float ~decimals:1 (fixed 0.125);
+          Table.cell_float ~decimals:1 (fixed (1.0 /. 64.0));
+          Table.cell_float ~decimals:1 decay;
+        ])
+    (if !quick then [ 1; 64 ] else [ 1; 4; 16; 64 ]);
+  Table.print table;
+  note
+    "Every fixed p has a contention scale where it explodes (p=1/2 at\n\
+     m=64; p=1/64 at m=1); the log Δ-level sweep is uniformly fast.  This\n\
+     is why t_prog carries a log Δ factor — it is Ω-necessary [21].\n"
+
+(* (b) saturate a clique of delta senders plus one receiver; measure the
+   first round by which the receiver has heard all delta DISTINCT
+   messages.  Information-theoretic floor: delta - 1 (one clean reception
+   per round). *)
+let all_messages_latency ~delta ~seed ~max_rounds =
+  let dual = Geo.clique (delta + 1) in
+  let params = Localcast.Params.of_dual ~eps1:0.1 ~tack_phases:100 dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = Localcast.Lb_alg.network params ~rng ~n:(delta + 1) in
+  let senders = List.init delta (fun i -> i + 1) in
+  let envt = Localcast.Lb_env.saturate ~n:(delta + 1) ~senders () in
+  let heard = Hashtbl.create delta in
+  let result = ref None in
+  let observer record =
+    (match record.Trace.delivered.(0) with
+    | Some (M.Data p) -> Hashtbl.replace heard p.M.src ()
+    | _ -> ());
+    if Hashtbl.length heard = delta && !result = None then
+      result := Some record.Trace.round
+  in
+  let stop _ = !result <> None in
+  let (_ : int) =
+    Engine.run ~observer ~stop ~dual ~scheduler:Sch.reliable_only ~nodes
+      ~env:(Localcast.Lb_env.env envt) ~rounds:max_rounds ()
+  in
+  !result
+
+let e16b () =
+  let trials = trials_scaled 6 in
+  let table =
+    Table.create
+      ~title:"E16b: the delta-round acknowledgement floor (clique, LBAlg)"
+      ~columns:
+        [ "delta"; "floor (delta-1)"; "rounds to hear all delta"; "t_ack bound" ]
+  in
+  List.iter
+    (fun delta ->
+      let max_rounds = 400_000 in
+      let latencies =
+        Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
+            all_messages_latency ~delta ~seed ~max_rounds)
+      in
+      let mean = mean_option_latency ~max_rounds latencies in
+      let params =
+        Localcast.Params.of_dual ~eps1:0.1 (Geo.clique (delta + 1))
+      in
+      Table.add_row table
+        [
+          Table.cell_int delta;
+          Table.cell_int (delta - 1);
+          Table.cell_float ~decimals:0 mean;
+          Table.cell_int (Localcast.Params.t_ack_rounds params);
+        ])
+    (if !quick then [ 4; 16 ] else [ 2; 4; 8; 16 ]);
+  Table.print table;
+  note
+    "The measured all-messages time sits between the information floor\n\
+     (delta - 1: one clean reception per round) and the t_ack bound;\n\
+     both grow ~linearly in delta — the bound is Δ-optimal up to polylog\n\
+     factors, as the paper claims.\n"
+
+let run () =
+  section "E16: near-optimality (paper §1, Results discussion)";
+  e16a ();
+  e16b ()

@@ -1,0 +1,130 @@
+(* Experiment E14: the cost of LOOSE coordination.  LBAlg pays for not
+   having a global seed: seed agreement leaves up to δ distinct seed
+   groups per neighborhood, and only rounds where the right group
+   participates alone are useful (Lemma C.1's 1/δ factor).  The Oracle
+   seed source hands every node the same seed (perfect coordination,
+   impossible in the real model) with an identical phase structure, so
+   the gap between the two isolates exactly that factor. *)
+
+open Core
+open Exp_common
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Engine = Radiosim.Engine
+module M = Localcast.Messages
+module Params = Localcast.Params
+module L = Localcast
+module Table = Stats.Table
+
+let max_rounds = 60_000
+
+let latency ~dual ~params ~seed_source ~seed =
+  let n = Dual.n dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = L.Lb_alg.network ?seed_source params ~rng ~n in
+  let senders = List.init (n - 1) (fun i -> i + 1) in
+  let envt = L.Lb_env.saturate ~n ~senders () in
+  let result = ref None in
+  let stop record =
+    match record.Radiosim.Trace.delivered.(0) with
+    | Some (M.Data _) ->
+        if !result = None then result := Some record.Radiosim.Trace.round;
+        true
+    | _ -> false
+  in
+  let (_ : int) =
+    Engine.run ~stop ~dual
+      ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+      ~nodes
+      ~env:(L.Lb_env.env envt)
+      ~rounds:max_rounds ()
+  in
+  !result
+
+let reception_rate ~dual ~params ~seed_source ~seed ~phases =
+  let n = Dual.n dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = L.Lb_alg.network ?seed_source params ~rng ~n in
+  let senders = List.init (n - 1) (fun i -> i + 1) in
+  let envt = L.Lb_env.saturate ~n ~senders () in
+  let body = ref 0 and received = ref 0 in
+  let observer record =
+    if not (L.Lb_alg.is_preamble_round params record.Radiosim.Trace.round) then begin
+      incr body;
+      match record.Radiosim.Trace.delivered.(0) with
+      | Some (M.Data _) -> incr received
+      | _ -> ()
+    end
+  in
+  let (_ : int) =
+    Engine.run ~observer ~dual
+      ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+      ~nodes
+      ~env:(L.Lb_env.env envt)
+      ~rounds:(phases * params.Params.phase_len)
+      ()
+  in
+  float_of_int !received /. float_of_int (max 1 !body)
+
+let run () =
+  section "E14: ablation — seed agreement vs a global-seed oracle";
+  note
+    "Identical phase structure; Oracle hands every node the SAME seed\n\
+     each phase (unachievable in the model), Agreement runs real SeedAlg.\n\
+     Receiver u in a clique of senders; per-body-round reception\n\
+     frequency p_u and first-reception latency.";
+  let trials = trials_scaled 8 in
+  let table =
+    Table.create ~title:"E14: perfect vs loose coordination"
+      ~columns:
+        [ "delta"; "source"; "p_u"; "mean latency"; "latency ratio" ]
+  in
+  let deltas = if !quick then [ 8 ] else [ 4; 8; 16; 32 ] in
+  List.iter
+    (fun delta ->
+      let dual = Geo.clique (delta + 1) in
+      let params = Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
+      let sample f =
+        Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
+            f ~seed)
+      in
+      let measure source_of =
+        let rates =
+          sample (fun ~seed ->
+              reception_rate ~dual ~params ~seed_source:(source_of seed) ~seed
+                ~phases:4)
+        in
+        let latencies =
+          sample (fun ~seed -> latency ~dual ~params ~seed_source:(source_of seed) ~seed)
+        in
+        (Stats.Summary.mean rates, mean_option_latency ~max_rounds latencies)
+      in
+      let agreement_pu, agreement_lat = measure (fun _ -> None) in
+      let oracle_pu, oracle_lat =
+        measure (fun seed -> Some (L.Lb_alg.Oracle (Prng.Rng.of_int (seed * 13))))
+      in
+      let add name pu lat ratio =
+        Table.add_row table
+          [
+            Table.cell_int delta;
+            name;
+            Table.cell_float ~decimals:4 pu;
+            Table.cell_float ~decimals:0 lat;
+            ratio;
+          ]
+      in
+      add "agreement" agreement_pu agreement_lat "1.0";
+      add "oracle" oracle_pu oracle_lat
+        (Table.cell_float ~decimals:2 (agreement_lat /. Float.max 1.0 oracle_lat)))
+    deltas;
+  Table.print table;
+  note
+    "Expected: latency ratio stays a small constant — loose coordination\n\
+     is at least as good as perfect coordination, the paper's core design\n\
+     bet.  In fact measured p_u is often HIGHER under agreement: with a\n\
+     handful of groups each running its own participation lottery, some\n\
+     group participates alone more often than one global group\n\
+     participates at all, and the smaller participating group faces less\n\
+     internal contention.  The δ-bound is what keeps this a win: the\n\
+     guarantee needs FEW groups, not one.\n"

@@ -1,0 +1,246 @@
+(* Experiments E1-E4: the seed agreement service (Theorem 3.1).
+
+   E1  δ-bound: distinct committed owners per G'-neighborhood is
+       O(log 1/ε) and does not grow with Δ.
+   E2  running time: Ts = O(log Δ · log²(1/ε)).
+   E3  error: the per-node agreement event B_{u,δ} fails with frequency
+       well below ε, for the paper's δ = O(r² log(1/ε)).
+   E4  independence: committed seed bits are fair and cross-owner seeds
+       are uncorrelated (Lemmas B.17/B.18). *)
+
+open Core
+open Exp_common
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Params = Localcast.Params
+module L = Localcast
+module Table = Stats.Table
+
+(* Neighborhood owner statistics across trials. *)
+let owner_stats ~dual ~params ~delta_bound ~trials =
+  let outcomes =
+    Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
+        run_seed_trial ~dual ~params ~delta_bound
+          ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+          ~seed)
+  in
+  let max_owners =
+    List.map (fun o -> float_of_int o.seed_report.L.Seed_spec.max_owners) outcomes
+  in
+  let mean_owner_counts =
+    List.concat_map
+      (fun o ->
+        Array.to_list
+          (Array.map float_of_int o.seed_report.L.Seed_spec.owners_per_vertex))
+      outcomes
+  in
+  let violations =
+    List.fold_left
+      (fun acc o -> acc + o.seed_report.L.Seed_spec.violation_count)
+      0 outcomes
+  in
+  let node_trials = trials * Dual.n dual in
+  ( Stats.Summary.of_list max_owners,
+    Stats.Summary.of_list mean_owner_counts,
+    violations,
+    node_trials )
+
+let e1 () =
+  section "E1: seed partition bound δ (Theorem 3.1)";
+  note
+    "Claim: #distinct seed owners in any G'-neighborhood is O(r² log(1/ε)),\n\
+     independent of Δ.  Sweep ε at fixed Δ, then Δ at fixed ε.";
+  let trials = trials_scaled 20 in
+  let table_eps =
+    Table.create ~title:"E1a: owners per neighborhood vs eps (clique, delta=16)"
+      ~columns:
+        [ "eps"; "bound c*log(1/eps)"; "mean owners"; "max owners (mean)";
+          "max owners (max)" ]
+  in
+  let dual = Geo.clique 16 in
+  List.iter
+    (fun eps ->
+      let params = Params.make_seed ~eps ~delta:16 ~kappa:16 () in
+      let bound =
+        int_of_float (Float.ceil (2.0 *. (log (1.0 /. eps) /. log 2.0)))
+      in
+      let max_s, mean_s, _, _ =
+        owner_stats ~dual ~params ~delta_bound:(max 1 bound) ~trials
+      in
+      Table.add_row table_eps
+        [
+          Table.cell_float ~decimals:3 eps;
+          Table.cell_int bound;
+          Table.cell_float mean_s.Stats.Summary.mean;
+          Table.cell_float max_s.Stats.Summary.mean;
+          Table.cell_float ~decimals:0 max_s.Stats.Summary.max;
+        ])
+    [ 0.25; 0.1; 0.05; 0.02 ];
+  Table.print table_eps;
+  let table_delta =
+    Table.create ~title:"E1b: owners per neighborhood vs delta (eps=0.1)"
+      ~columns:[ "delta"; "mean owners"; "max owners (mean)"; "max owners (max)" ]
+  in
+  List.iter
+    (fun delta ->
+      let dual = Geo.clique delta in
+      let params = Params.make_seed ~eps:0.1 ~delta ~kappa:16 () in
+      let max_s, mean_s, _, _ = owner_stats ~dual ~params ~delta_bound:8 ~trials in
+      Table.add_row table_delta
+        [
+          Table.cell_int delta;
+          Table.cell_float mean_s.Stats.Summary.mean;
+          Table.cell_float max_s.Stats.Summary.mean;
+          Table.cell_float ~decimals:0 max_s.Stats.Summary.max;
+        ])
+    (if !quick then [ 4; 16; 64 ] else [ 4; 8; 16; 32; 64; 128 ]);
+  Table.print table_delta;
+  note
+    "Expected shape: E1a grows (slowly) as log(1/eps); E1b is flat in delta.\n"
+
+let e2 () =
+  section "E2: seed agreement running time (Theorem 3.1)";
+  note
+    "Claim: Ts = O(log Δ · log²(1/ε)) rounds.  The ratio column should be\n\
+     roughly constant across both sweeps.";
+  let table =
+    Table.create ~title:"E2: Ts vs (log delta, log^2(1/eps))"
+      ~columns:[ "delta"; "eps"; "Ts rounds"; "logD*log2(1/eps)"; "ratio" ]
+  in
+  let row ~delta ~eps =
+    let params = Params.make_seed ~eps ~delta ~kappa:16 () in
+    let ts = Params.seed_duration params in
+    let log_delta = float_of_int params.Params.phases in
+    let li = log (1.0 /. params.Params.seed_eps) /. log 2.0 in
+    let predictor = log_delta *. li *. li in
+    Table.add_row table
+      [
+        Table.cell_int delta;
+        Table.cell_float ~decimals:3 eps;
+        Table.cell_int ts;
+        Table.cell_float predictor;
+        Table.cell_float (float_of_int ts /. predictor);
+      ]
+  in
+  List.iter (fun delta -> row ~delta ~eps:0.1) [ 2; 8; 32; 128; 512 ];
+  List.iter (fun eps -> row ~delta:16 ~eps) [ 0.25; 0.1; 0.05; 0.01 ];
+  Table.print table
+
+let e3 () =
+  section "E3: seed agreement error probability (Seed spec condition 3)";
+  note
+    "Claim: P(B_{u,δ} fails) <= ε per node, with the paper's\n\
+     δ = c·r²·log(1/ε).  Frequencies are per (node, trial); Wilson 95%% CIs.";
+  let trials = trials_scaled 30 in
+  let table =
+    Table.create ~title:"E3: per-node agreement failure frequency"
+      ~columns:
+        [ "topology"; "scheduler"; "eps"; "delta bound"; "failures";
+          "node-trials"; "freq (95% CI)" ]
+  in
+  let cases =
+    [
+      ("random field", "bernoulli", fun seed -> Sch.bernoulli ~seed ~p:0.5);
+      ("random field", "all-edges", fun _ -> Sch.all_edges);
+      ("random field", "flicker", fun _ -> Sch.flicker ~period:8 ~duty:4);
+    ]
+  in
+  List.iter
+    (fun eps ->
+      List.iter
+        (fun (topo_name, sched_name, scheduler_of) ->
+          let failures = ref 0 and node_trials = ref 0 in
+          let delta_bound = ref 0 in
+          List.iteri
+            (fun trial () ->
+              let seed = master_seed + (trial * 7919) in
+              let dual = random_field ~seed ~n:50 () in
+              let params =
+                Params.make_seed ~eps ~delta:(Dual.delta dual) ~kappa:16 ()
+              in
+              let r = Dual.r dual in
+              delta_bound :=
+                max 1
+                  (int_of_float
+                     (Float.ceil (6.0 *. r *. r *. (log (1.0 /. eps) /. log 2.0))));
+              let outcome =
+                run_seed_trial ~dual ~params ~delta_bound:!delta_bound
+                  ~scheduler:(scheduler_of seed) ~seed
+              in
+              failures := !failures + outcome.seed_report.L.Seed_spec.violation_count;
+              node_trials := !node_trials + Dual.n dual)
+            (List.init trials (fun _ -> ()));
+          let ci =
+            Stats.Ci.wilson ~successes:!failures ~trials:!node_trials ()
+          in
+          Table.add_row table
+            [
+              topo_name;
+              sched_name;
+              Table.cell_float ~decimals:3 eps;
+              Table.cell_int !delta_bound;
+              Table.cell_int !failures;
+              Table.cell_int !node_trials;
+              Format.asprintf "%a" Stats.Ci.pp ci;
+            ])
+        cases)
+    [ 0.1; 0.05 ];
+  Table.print table;
+  note "Expected: observed frequency (and its upper CI) below eps.\n"
+
+let e4 () =
+  section "E4: seed independence (Seed spec condition 4, Lemmas B.17/B.18)";
+  let trials = trials_scaled 40 in
+  let dual = Geo.clique 8 in
+  let params = Params.make_seed ~eps:0.1 ~delta:8 ~kappa:128 () in
+  let announcements = ref [] in
+  let agreements = ref [] in
+  List.iteri
+    (fun trial () ->
+      let seed = master_seed + (trial * 104729) in
+      let outcome =
+        run_seed_trial ~dual ~params ~delta_bound:8
+          ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+          ~seed
+      in
+      let by_owner = Hashtbl.create 8 in
+      Array.iter
+        (List.iter (fun (_, ({ Localcast.Messages.owner; seed = s } as a)) ->
+             if not (Hashtbl.mem by_owner owner) then begin
+               Hashtbl.add by_owner owner s;
+               announcements := a :: !announcements
+             end))
+        outcome.decisions;
+      let seeds = Hashtbl.fold (fun _ s acc -> s :: acc) by_owner [] in
+      match seeds with
+      | a :: b :: _ -> agreements := L.Seed_spec.cross_agreement a b :: !agreements
+      | _ -> ())
+    (List.init trials (fun _ -> ()));
+  let balance = L.Seed_spec.bit_balance !announcements in
+  let cross = Stats.Summary.of_list !agreements in
+  let table =
+    Table.create ~title:"E4: committed-seed randomness"
+      ~columns:[ "statistic"; "measured"; "ideal" ]
+  in
+  Table.add_row table
+    [ "bit balance (fraction of 1s)"; Table.cell_float ~decimals:4 balance; "0.5000" ];
+  Table.add_row table
+    [
+      "cross-owner bit agreement (mean)";
+      Table.cell_float ~decimals:4 cross.Stats.Summary.mean;
+      "0.5000";
+    ];
+  Table.add_row table
+    [
+      "cross-owner pairs sampled";
+      Table.cell_int cross.Stats.Summary.count;
+      "-";
+    ];
+  Table.print table
+
+let run () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ()

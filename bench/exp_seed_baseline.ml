@@ -1,0 +1,134 @@
+(* Experiment E17: SeedAlg vs a strawman gossip seed-agreement protocol.
+
+   The gossip baseline (Baseline.Gossip_seed) broadcasts (id, seed) pairs
+   with a fixed probability and commits to the minimum id heard.  It can
+   eventually drive a neighborhood to very few owners — but it has no
+   per-node error parameter, its quality depends on how long you run it,
+   and its fixed transmission probability is exposed to the link
+   scheduler.  The comparison quantifies what SeedAlg's phased,
+   self-deactivating leader election buys. *)
+
+open Core
+open Exp_common
+module Dual = Dualgraph.Dual
+module Sch = Radiosim.Scheduler
+module Params = Localcast.Params
+module L = Localcast
+module Table = Stats.Table
+
+let run_gossip ~dual ~rounds ~p ~seed =
+  let n = Dual.n dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = Baseline.Gossip_seed.network ~rounds ~p ~kappa:16 ~rng ~n in
+  let trace, observer = Radiosim.Trace.recorder () in
+  let (_ : int) =
+    Radiosim.Engine.run ~observer ~dual
+      ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+      ~nodes
+      ~env:(Radiosim.Env.null ~name:"gossip" ())
+      ~rounds ()
+  in
+  L.Seed_spec.decisions_of_trace trace ~n
+
+let run () =
+  section "E17: SeedAlg vs gossip seed agreement (engineered baseline)";
+  note
+    "Random fields n=50, eps=0.05.  Gossip broadcasts (id, seed) with\n\
+     p = 1/Delta and commits to the min id heard; rows give it the same\n\
+     round budget as SeedAlg (1x) and a 4x budget.";
+  let trials = trials_scaled 12 in
+  let table =
+    Table.create ~title:"E17: owner count vs owner locality (per-trial max)"
+      ~columns:
+        [ "algorithm"; "rounds"; "max owners (mean)"; "max owners (max)";
+          "owner distance p90"; "owner distance max" ]
+  in
+  (* How far away (G'-hops) is the owner a node committed to?  SeedAlg
+     commits to a transmission actually heard, so distance <= 1 hop; the
+     gossip baseline commits to relayed minima from arbitrarily far away —
+     trading away exactly the locality Lemma B.1 gives SeedAlg. *)
+  let owner_distances (dual, decisions) =
+    let g' = Dual.g' dual in
+    let dists = ref [] in
+    Array.iteri
+      (fun u entries ->
+        List.iter
+          (fun (_, { L.Messages.owner; _ }) ->
+            if owner >= 0 && owner < Dual.n dual then begin
+              let d = (Dualgraph.Graph.bfs_distances g' owner).(u) in
+              if d < max_int then dists := float_of_int d :: !dists
+            end)
+          entries)
+      decisions;
+    !dists
+  in
+  let summarize decisions_list =
+    let maxima =
+      List.map
+        (fun (dual, decisions) ->
+          let report = L.Seed_spec.check ~dual ~delta_bound:1000 ~decisions in
+          float_of_int report.L.Seed_spec.max_owners)
+        decisions_list
+    in
+    let distances = List.concat_map owner_distances decisions_list in
+    (Stats.Summary.of_list maxima, Stats.Summary.of_list distances)
+  in
+  let field_for trial = random_field ~seed:(master_seed + (trial * 389)) ~n:50 () in
+  (* SeedAlg row *)
+  let seedalg_results = ref [] in
+  let seedalg_rounds = ref 0 in
+  for trial = 1 to trials do
+    let dual = field_for trial in
+    let params = Params.make_seed ~eps:0.05 ~delta:(Dual.delta dual) ~kappa:16 () in
+    seedalg_rounds := L.Seed_alg.duration params;
+    let outcome =
+      run_seed_trial ~dual ~params ~delta_bound:1000
+        ~scheduler:(Sch.bernoulli ~seed:trial ~p:0.5)
+        ~seed:(master_seed + trial)
+    in
+    seedalg_results := (dual, outcome.decisions) :: !seedalg_results
+  done;
+  let s, d = summarize !seedalg_results in
+  Table.add_row table
+    [
+      "SeedAlg";
+      Table.cell_int !seedalg_rounds;
+      Table.cell_float s.Stats.Summary.mean;
+      Table.cell_float ~decimals:0 s.Stats.Summary.max;
+      Table.cell_float ~decimals:1 d.Stats.Summary.p90;
+      Table.cell_float ~decimals:0 d.Stats.Summary.max;
+    ];
+  (* Gossip rows at 1x and 4x the SeedAlg budget *)
+  List.iter
+    (fun multiplier ->
+      let results = ref [] in
+      let rounds = ref 0 in
+      for trial = 1 to trials do
+        let dual = field_for trial in
+        rounds := multiplier * !seedalg_rounds;
+        let p = 1.0 /. float_of_int (Dual.delta dual) in
+        let decisions =
+          run_gossip ~dual ~rounds:!rounds ~p ~seed:(master_seed + trial)
+        in
+        results := (dual, decisions) :: !results
+      done;
+      let s, d = summarize !results in
+      Table.add_row table
+        [
+          Printf.sprintf "gossip %dx" multiplier;
+          Table.cell_int !rounds;
+          Table.cell_float s.Stats.Summary.mean;
+          Table.cell_float ~decimals:0 s.Stats.Summary.max;
+          Table.cell_float ~decimals:1 d.Stats.Summary.p90;
+          Table.cell_float ~decimals:0 d.Stats.Summary.max;
+        ])
+    [ 1; 4 ];
+  Table.print table;
+  note
+    "Expected: gossip converges to very FEW owners (min-flooding is a\n\
+     global leader election) — but the owners are far away: the owner\n\
+     distance grows with the budget (the min's basin), whereas SeedAlg\n\
+     commits only to seeds heard directly (distance <= 1), the locality\n\
+     Lemma B.1 records and the broadcast analysis leans on.  Gossip also\n\
+     has no tunable per-node (delta, eps) guarantee: its quality is\n\
+     whatever the diameter and the scheduler allow.\n"

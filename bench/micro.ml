@@ -1,0 +1,118 @@
+(* M1-M4: Bechamel micro-benchmarks of the core primitives, one per
+   experiment table in the performance section of EXPERIMENTS.md.  Each
+   prints an OLS estimate of nanoseconds per run against the monotonic
+   clock. *)
+
+open Core
+open Bechamel
+open Toolkit
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Params = Localcast.Params
+module L = Localcast
+
+(* M1: one simulated round on a 32-clique with every node transmitting
+   with probability 1/2 (the engine's inner loop, including collision
+   resolution). *)
+let m1_engine_round =
+  let dual = Geo.clique 32 in
+  let rng = Prng.Rng.of_int 1 in
+  let nodes =
+    Array.init 32 (fun src ->
+        Baseline.Uniform.node ~p:0.5
+          ~message:(Localcast.Messages.payload ~src ~uid:0 ())
+          ~rng:(Prng.Rng.split rng))
+  in
+  let env = Radiosim.Env.null ~name:"bench" () in
+  Test.make ~name:"M1 engine round (clique 32)"
+    (Staged.stage (fun () ->
+         ignore
+           (Radiosim.Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes ~env
+              ~rounds:1 ())))
+
+(* M2: a complete standalone SeedAlg execution on a small clique. *)
+let m2_seed_agreement =
+  let dual = Geo.clique 8 in
+  let params = Params.make_seed ~eps:0.25 ~delta:8 ~kappa:16 () in
+  let counter = ref 0 in
+  Test.make ~name:"M2 SeedAlg full run (clique 8)"
+    (Staged.stage (fun () ->
+         incr counter;
+         let rng = Prng.Rng.of_int !counter in
+         let nodes = L.Seed_alg.network params ~rng ~n:8 in
+         ignore
+           (Radiosim.Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes
+              ~env:(Radiosim.Env.null ~name:"bench" ())
+              ~rounds:(L.Seed_alg.duration params)
+              ())))
+
+(* M3: one full LBAlg phase (preamble + body) on a pair. *)
+let m3_lb_phase =
+  let dual = Geo.pair () in
+  let params = Params.of_dual ~eps1:0.25 ~tack_phases:1 dual in
+  let counter = ref 0 in
+  Test.make ~name:"M3 LBAlg phase (pair)"
+    (Staged.stage (fun () ->
+         incr counter;
+         let rng = Prng.Rng.of_int !counter in
+         let nodes = L.Lb_alg.network params ~rng ~n:2 in
+         let envt = L.Lb_env.saturate ~n:2 ~senders:[ 0 ] () in
+         ignore
+           (Radiosim.Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes
+              ~env:(L.Lb_env.env envt) ~rounds:params.Params.phase_len ())))
+
+(* M4: random r-geographic dual graph generation (n = 100). *)
+let m4_topology =
+  let counter = ref 0 in
+  Test.make ~name:"M4 random_field n=100"
+    (Staged.stage (fun () ->
+         incr counter;
+         ignore
+           (Geo.random_field
+              ~rng:(Prng.Rng.of_int !counter)
+              ~n:100 ~width:6.0 ~height:6.0 ~r:1.5 ())))
+
+let run () =
+  Exp_common.section "M1-M4: micro-benchmarks (Bechamel, monotonic clock)";
+  let tests = [ m1_engine_round; m2_seed_agreement; m3_lb_phase; m4_topology ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !Exp_common.quick then 0.25 else 1.0))
+      ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let table =
+    Stats.Table.create ~title:"micro-benchmarks"
+      ~columns:[ "benchmark"; "time per run"; "r^2" ]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> Float.nan
+          in
+          let rendered =
+            if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+            else Printf.sprintf "%.1f ns" estimate
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          Stats.Table.add_row table [ name; rendered; r2 ])
+        analyzed)
+    tests;
+  Stats.Table.print table

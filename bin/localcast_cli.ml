@@ -1,0 +1,448 @@
+(* Command-line driver for the local broadcast layer.
+
+   Subcommands:
+     topo   — generate a dual graph and describe it
+     seed   — run seed agreement and report the Seed spec outcome
+     run    — run LBAlg under an oblivious scheduler and report the LB spec
+     flood  — run the abstract-MAC-layer flood application
+
+   Every run is a pure function of --seed, so reported numbers are
+   reproducible. *)
+
+open Core
+open Cmdliner
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module L = Localcast
+
+(* --- shared arguments --- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Master random seed.")
+
+let n_arg =
+  Arg.(value & opt int 30 & info [ "n"; "nodes" ] ~docv:"INT" ~doc:"Number of nodes.")
+
+let width_arg =
+  Arg.(
+    value
+    & opt float 4.0
+    & info [ "width" ] ~docv:"FLOAT" ~doc:"Field width (and height).")
+
+let r_arg =
+  Arg.(
+    value
+    & opt float 1.5
+    & info [ "r" ] ~docv:"FLOAT" ~doc:"Geographic parameter r (>= 1).")
+
+let gray_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "gray" ] ~docv:"P"
+        ~doc:"Probability a grey-zone pair gets an unreliable edge.")
+
+let eps_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "eps" ] ~docv:"FLOAT" ~doc:"Error bound epsilon.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (enum [ ("random", `Random); ("grid", `Grid); ("clique", `Clique);
+                  ("line", `Line); ("gray-cluster", `Gray) ])
+        `Random
+    & info [ "topology" ] ~docv:"KIND"
+        ~doc:"Topology: random, grid, clique, line or gray-cluster.")
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt (enum [ ("reliable-only", `Reliable); ("all-edges", `All);
+                  ("bernoulli", `Bernoulli); ("flicker", `Flicker) ])
+        `Bernoulli
+    & info [ "scheduler" ] ~docv:"KIND"
+        ~doc:
+          "Oblivious link scheduler: reliable-only, all-edges, bernoulli or \
+           flicker.")
+
+let phases_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "phases" ] ~docv:"INT" ~doc:"Number of LBAlg phases to simulate.")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Load the topology from a Dualgraph.Io file instead of generating it.")
+
+let make_topology ?load kind ~seed ~n ~width ~r ~gray =
+  match load with
+  | Some filename -> Dualgraph.Io.load filename
+  | None ->
+  let rng = Prng.Rng.of_int seed in
+  match kind with
+  | `Random ->
+      Geo.random_field ~rng ~n ~width ~height:width ~r ~gray_g':gray ()
+  | `Grid ->
+      let side = max 1 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+      Geo.grid ~rows:side ~cols:side ~spacing:0.9 ~r ~gray_g':gray ~rng ()
+  | `Clique -> Geo.clique n
+  | `Line -> Geo.line ~n ~spacing:0.9 ~r ()
+  | `Gray -> Geo.gray_cluster ~k:(max 1 (n - 2)) ~r:(Float.max r 1.41) ()
+
+let make_scheduler kind ~seed =
+  match kind with
+  | `Reliable -> Sch.reliable_only
+  | `All -> Sch.all_edges
+  | `Bernoulli -> Sch.bernoulli ~seed ~p:0.5
+  | `Flicker -> Sch.flicker ~period:16 ~duty:8
+
+(* --- topo --- *)
+
+let topo_cmd =
+  let render_arg =
+    Arg.(value & flag & info [ "render" ] ~doc:"Print an ASCII sketch of the field.")
+  in
+  let histogram_arg =
+    Arg.(value & flag & info [ "degrees" ] ~doc:"Print the reliable-degree histogram.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the topology to FILE (Dualgraph.Io format).")
+  in
+  let run topology seed n width r gray load render degrees save =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    Format.printf "%a@." Dual.pp dual;
+    (match Dual.embedding dual with
+    | Some _ ->
+        let regions = Dualgraph.Region.of_dual dual in
+        Format.printf "occupied half-unit regions: %d (largest holds %d nodes)@."
+          (Dualgraph.Region.region_count regions)
+          (Dualgraph.Region.max_members regions)
+    | None -> ());
+    if Dualgraph.Graph.is_connected (Dual.g dual) then
+      Format.printf "G is connected, diameter %d@."
+        (Dualgraph.Graph.diameter (Dual.g dual))
+    else Format.printf "G is disconnected@.";
+    if render then
+      (match Dual.embedding dual with
+      | Some _ -> print_string (Dualgraph.Render.field dual)
+      | None -> print_endline "(no embedding to render)");
+    if degrees then print_string (Dualgraph.Render.degree_histogram dual);
+    match save with
+    | Some filename ->
+        Dualgraph.Io.save dual ~filename;
+        Format.printf "saved to %s@." filename
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate, describe, render or save a dual graph topology.")
+    Term.(
+      const run $ topology_arg $ seed_arg $ n_arg $ width_arg $ r_arg $ gray_arg
+      $ load_arg $ render_arg $ histogram_arg $ save_arg)
+
+(* --- seed --- *)
+
+let seed_cmd =
+  let run topology seed n width r gray eps load =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    let n = Dual.n dual in
+    Format.printf "%a@." Dual.pp dual;
+    let params = L.Params.make_seed ~eps ~delta:(Dual.delta dual) ~kappa:32 () in
+    Format.printf "%a@." L.Params.pp_seed params;
+    let rng = Prng.Rng.of_int (seed + 1) in
+    let nodes = L.Seed_alg.network params ~rng ~n in
+    let trace, observer = Radiosim.Trace.recorder () in
+    let (_ : int) =
+      Radiosim.Engine.run ~observer ~dual
+        ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+        ~nodes
+        ~env:(Radiosim.Env.null ~name:"seed" ())
+        ~rounds:(L.Seed_alg.duration params)
+        ()
+    in
+    let decisions = L.Seed_spec.decisions_of_trace trace ~n in
+    let delta_bound =
+      max 1 (int_of_float (Float.ceil (6.0 *. r *. r *. (log (1.0 /. eps) /. log 2.0))))
+    in
+    let report = L.Seed_spec.check ~dual ~delta_bound ~decisions in
+    Format.printf
+      "well-formed=%b consistent=%b  max owners per neighborhood=%d (bound \
+       delta=%d, violations=%d)@."
+      report.L.Seed_spec.well_formed report.L.Seed_spec.consistent
+      report.L.Seed_spec.max_owners delta_bound report.L.Seed_spec.violation_count
+  in
+  Cmd.v
+    (Cmd.info "seed" ~doc:"Run the SeedAlg seed agreement protocol.")
+    Term.(
+      const run $ topology_arg $ seed_arg $ n_arg $ width_arg $ r_arg $ gray_arg
+      $ eps_arg $ load_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let senders_arg =
+    Arg.(
+      value & opt (list int) [ 0 ]
+      & info [ "senders" ] ~docv:"IDS" ~doc:"Comma-separated sender vertices.")
+  in
+  let tack_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tack-phases" ] ~docv:"INT"
+          ~doc:"Override the derived Tack phase count.")
+  in
+  let run topology scheduler seed n width r gray eps phases senders tack load =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    let n = Dual.n dual in
+    Format.printf "%a@." Dual.pp dual;
+    let params = L.Params.of_dual ?tack_phases:tack ~eps1:eps dual in
+    Format.printf "%a@.@." L.Params.pp params;
+    let rng = Prng.Rng.of_int (seed + 1) in
+    let nodes = L.Lb_alg.network params ~rng ~n in
+    let senders = List.filter (fun v -> v >= 0 && v < n) senders in
+    let envt = L.Lb_env.saturate ~n ~senders () in
+    let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
+    let rounds = phases * params.L.Params.phase_len in
+    let executed, secs =
+      Stats.Experiment.time (fun () ->
+          Radiosim.Engine.run
+            ~observer:(L.Lb_spec.observe monitor)
+            ~dual
+            ~scheduler:(make_scheduler scheduler ~seed)
+            ~nodes ~env:(L.Lb_env.env envt) ~rounds ())
+    in
+    let report = L.Lb_spec.finish monitor in
+    Format.printf "executed %d rounds in %.2fs@." executed secs;
+    Format.printf
+      "validity violations=%d  acks=%d (late=%d missing=%d max latency=%d)@."
+      report.L.Lb_spec.validity_violations report.L.Lb_spec.ack_count
+      report.L.Lb_spec.late_ack_count report.L.Lb_spec.missing_ack_count
+      report.L.Lb_spec.max_ack_latency;
+    Format.printf "reliability %d/%d (%.1f%%)  progress %d/%d (%.1f%%)@."
+      (report.L.Lb_spec.reliability_attempts - report.L.Lb_spec.reliability_failures)
+      report.L.Lb_spec.reliability_attempts
+      (100.0 *. L.Lb_spec.reliability_rate report)
+      (report.L.Lb_spec.progress_opportunities - report.L.Lb_spec.progress_failures)
+      report.L.Lb_spec.progress_opportunities
+      (100.0 *. L.Lb_spec.progress_rate report)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the LBAlg local broadcast service.")
+    Term.(
+      const run $ topology_arg $ scheduler_arg $ seed_arg $ n_arg $ width_arg
+      $ r_arg $ gray_arg $ eps_arg $ phases_arg $ senders_arg $ tack_arg
+      $ load_arg)
+
+(* --- flood --- *)
+
+let flood_cmd =
+  let source_arg =
+    Arg.(value & opt int 0 & info [ "source" ] ~docv:"ID" ~doc:"Flood source.")
+  in
+  let run topology scheduler seed n width r gray eps source load =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    Format.printf "%a@." Dual.pp dual;
+    let params = L.Params.of_dual ~eps1:eps ~tack_phases:3 dual in
+    let result =
+      Macapps.Flood.run ~params
+        ~rng:(Prng.Rng.of_int (seed + 1))
+        ~dual
+        ~scheduler:(make_scheduler scheduler ~seed)
+        ~source
+        ~max_rounds:(200 * Dual.n dual * params.L.Params.phase_len)
+        ()
+    in
+    Format.printf "covered %d/%d nodes with %d relays@."
+      result.Macapps.Flood.covered_count (Dual.n dual) result.Macapps.Flood.relays;
+    match result.Macapps.Flood.completion_round with
+    | Some round -> Format.printf "flood complete at round %d@." round
+    | None ->
+        Format.printf "flood incomplete after %d rounds@."
+          result.Macapps.Flood.rounds_executed
+  in
+  Cmd.v
+    (Cmd.info "flood" ~doc:"Flood a message over the abstract MAC layer.")
+    Term.(
+      const run $ topology_arg $ scheduler_arg $ seed_arg $ n_arg $ width_arg
+      $ r_arg $ gray_arg $ eps_arg $ source_arg $ load_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "rounds" ] ~docv:"INT" ~doc:"Number of rounds to trace.")
+  in
+  let from_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "from" ] ~docv:"ROUND" ~doc:"First round to print.")
+  in
+  let node_filter_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node" ] ~docv:"ID" ~doc:"Only print events involving this node.")
+  in
+  let run topology seed n width r gray eps load rounds from node_filter =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    let n = Dual.n dual in
+    let params = L.Params.of_dual ~eps1:eps ~tack_phases:2 dual in
+    Format.printf "%a@." Dual.pp dual;
+    Format.printf "phase structure: Ts=%d Tprog=%d phase_len=%d@.@."
+      params.L.Params.ts params.L.Params.tprog params.L.Params.phase_len;
+    let rng = Prng.Rng.of_int (seed + 1) in
+    let nodes = L.Lb_alg.network params ~rng ~n in
+    let envt = L.Lb_env.saturate ~n ~senders:[ 0 ] () in
+    let trace, observer = Radiosim.Trace.recorder () in
+    let (_ : int) =
+      Radiosim.Engine.run ~observer ~dual
+        ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+        ~nodes ~env:(L.Lb_env.env envt) ~rounds ()
+    in
+    let wants v = match node_filter with None -> true | Some w -> w = v in
+    Radiosim.Trace.iter
+      (fun record ->
+        if record.Radiosim.Trace.round >= from then begin
+          let interesting = ref [] in
+          Array.iteri
+            (fun v action ->
+              match action with
+              | Radiosim.Process.Transmit m when wants v ->
+                  interesting :=
+                    Format.asprintf "%d!%a" v L.Messages.pp_msg m :: !interesting
+              | _ -> ())
+            record.Radiosim.Trace.actions;
+          Array.iteri
+            (fun v delivered ->
+              match delivered with
+              | Some m when wants v ->
+                  interesting :=
+                    Format.asprintf "%d<-%a" v L.Messages.pp_msg m :: !interesting
+              | _ -> ())
+            record.Radiosim.Trace.delivered;
+          Array.iteri
+            (fun v outs ->
+              if wants v then
+                List.iter
+                  (fun out ->
+                    interesting :=
+                      Format.asprintf "%d:%a" v L.Messages.pp_lb_output out
+                      :: !interesting)
+                  outs)
+            record.Radiosim.Trace.outputs;
+          if !interesting <> [] then begin
+            let kind =
+              if L.Lb_alg.is_preamble_round params record.Radiosim.Trace.round
+              then "pre "
+              else "body"
+            in
+            Format.printf "r%-5d %s  %s@." record.Radiosim.Trace.round kind
+              (String.concat "  " (List.rev !interesting))
+          end
+        end)
+      trace
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Dump a round-by-round event trace of an LBAlg run (transmissions, \
+          receptions, outputs).")
+    Term.(
+      const run $ topology_arg $ seed_arg $ n_arg $ width_arg $ r_arg $ gray_arg
+      $ eps_arg $ load_arg $ rounds_arg $ from_arg $ node_filter_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run topology scheduler seed n width r gray eps load =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    let params = L.Params.of_dual ~eps1:eps ~tack_phases:3 dual in
+    Format.printf "%a@." Dual.pp dual;
+    let failures = ref [] in
+    let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+    (* service guarantees under a saturated sender set *)
+    let senders =
+      List.filteri (fun i _ -> i mod 4 = 0) (List.init (Dual.n dual) Fun.id)
+    in
+    let outcome =
+      L.Service.run
+        ~scheduler:(make_scheduler scheduler ~seed)
+        ~dual ~params ~senders ~phases:6 ~seed ()
+    in
+    let report = outcome.L.Service.report in
+    if report.L.Lb_spec.validity_violations > 0 then
+      fail "validity violations: %d" report.L.Lb_spec.validity_violations;
+    if report.L.Lb_spec.late_ack_count > 0 then
+      fail "late acks: %d" report.L.Lb_spec.late_ack_count;
+    if report.L.Lb_spec.missing_ack_count > 0 then
+      fail "missing acks: %d" report.L.Lb_spec.missing_ack_count;
+    let progress = L.Lb_spec.progress_rate report in
+    if progress < 1.0 -. eps then
+      fail "progress rate %.4f below 1 - eps = %.4f" progress (1.0 -. eps);
+    let reliability = L.Lb_spec.reliability_rate report in
+    if reliability < 1.0 -. eps then
+      fail "reliability rate %.4f below 1 - eps = %.4f" reliability (1.0 -. eps);
+    (* seed agreement spec on the same topology *)
+    let seed_params =
+      L.Params.make_seed ~eps:params.L.Params.eps2 ~delta:(Dual.delta dual)
+        ~kappa:16 ()
+    in
+    let rng = Prng.Rng.of_int (seed + 2) in
+    let nodes = L.Seed_alg.network seed_params ~rng ~n:(Dual.n dual) in
+    let trace, observer = Radiosim.Trace.recorder () in
+    let (_ : int) =
+      Radiosim.Engine.run ~observer ~dual
+        ~scheduler:(make_scheduler scheduler ~seed)
+        ~nodes
+        ~env:(Radiosim.Env.null ~name:"verify" ())
+        ~rounds:(L.Seed_alg.duration seed_params)
+        ()
+    in
+    let decisions = L.Seed_spec.decisions_of_trace trace ~n:(Dual.n dual) in
+    let seed_report =
+      L.Seed_spec.check ~dual ~delta_bound:params.L.Params.delta_bound ~decisions
+    in
+    if not seed_report.L.Seed_spec.well_formed then fail "seed spec: not well-formed";
+    if not seed_report.L.Seed_spec.consistent then fail "seed spec: inconsistent";
+    if seed_report.L.Seed_spec.violation_count > 0 then
+      fail "seed agreement violations: %d (max owners %d > delta %d)"
+        seed_report.L.Seed_spec.violation_count seed_report.L.Seed_spec.max_owners
+        params.L.Params.delta_bound;
+    match !failures with
+    | [] ->
+        Format.printf
+          "OK: LB spec (progress %.2f%%, reliability %.2f%%, %d acks) and Seed \
+           spec (max owners %d <= %d) hold@."
+          (100.0 *. progress) (100.0 *. reliability) report.L.Lb_spec.ack_count
+          seed_report.L.Seed_spec.max_owners params.L.Params.delta_bound
+    | problems ->
+        List.iter (fun s -> Format.printf "FAIL: %s@." s) (List.rev problems);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the service on a topology and exit non-zero unless every \
+          specification check passes (CI-style).")
+    Term.(
+      const run $ topology_arg $ scheduler_arg $ seed_arg $ n_arg $ width_arg
+      $ r_arg $ gray_arg $ eps_arg $ load_arg)
+
+let () =
+  let doc = "Local broadcast layer for unreliable (dual graph) radio networks" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "localcast" ~doc)
+          [ topo_cmd; seed_cmd; run_cmd; flood_cmd; trace_cmd; verify_cmd ]))

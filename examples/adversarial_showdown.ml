@@ -1,0 +1,110 @@
+(* The paper's motivating attack, live: a fixed-probability-schedule
+   broadcaster (Decay) against an oblivious link scheduler that knows its
+   schedule — versus LBAlg, whose seed-permuted schedule the adversary
+   cannot anticipate.
+
+   Topology (Geometric.gray_cluster): receiver u has ONE reliable
+   neighbor v and k grey-zone broadcasters reachable only over unreliable
+   links.  The thwarting scheduler switches all k grey links IN exactly
+   when Decay's schedule probability is high enough that k + 1
+   transmitters collide, and OUT when the probability is so low that the
+   lone reliable sender v almost never speaks.  As k grows the attack
+   bites harder — Decay's progress latency degrades without bound — while
+   LBAlg's latency tracks its (k-independent, log Δ-shaped) t_prog under
+   benign and adversarial schedulers alike.
+
+   Run with:  dune exec examples/adversarial_showdown.exe *)
+
+open Core
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module M = Localcast.Messages
+module L = Localcast
+
+let trials = 12
+let max_rounds = 60_000
+
+(* Decay latency: all k+1 senders permanently active, receiver 0 waits. *)
+let decay_latency ~dual ~scheduler ~seed =
+  let levels = Baseline.Decay.levels_for ~delta':(Dual.delta' dual) in
+  let rng = Prng.Rng.of_int seed in
+  let nodes =
+    Array.init (Dual.n dual) (fun v ->
+        if v = 0 then Baseline.Harness.receiver ()
+        else
+          Baseline.Decay.node ~levels
+            ~message:(M.payload ~src:v ~uid:0 ())
+            ~rng:(Prng.Rng.split rng))
+  in
+  Baseline.Harness.first_reception ~dual ~scheduler ~nodes ~receiver:0 ~max_rounds
+
+(* LBAlg latency: same saturation, measured as receiver 0's first clean
+   data reception. *)
+let lbalg_latency ~dual ~scheduler ~seed =
+  let rng = Prng.Rng.of_int seed in
+  let params = L.Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
+  let n = Dual.n dual in
+  let nodes = L.Lb_alg.network params ~rng ~n in
+  let envt = L.Lb_env.saturate ~n ~senders:(List.init (n - 1) (fun i -> i + 1)) () in
+  let result = ref None in
+  let stop record =
+    match record.Radiosim.Trace.delivered.(0) with
+    | Some (M.Data _) ->
+        if !result = None then result := Some record.Radiosim.Trace.round;
+        true
+    | _ -> false
+  in
+  let (_ : int) =
+    Radiosim.Engine.run ~stop ~dual ~scheduler ~nodes ~env:(L.Lb_env.env envt)
+      ~rounds:max_rounds ()
+  in
+  !result
+
+let mean_latency f =
+  let total = ref 0 in
+  for seed = 1 to trials do
+    total := !total + (match f ~seed with Some l -> l | None -> max_rounds)
+  done;
+  float_of_int !total /. float_of_int trials
+
+let () =
+  Format.printf
+    "Receiver u, one reliable sender v, k grey-zone senders; %d trials.@.\
+     'benign' = Bernoulli(1/2) link scheduler; 'thwart' = schedule-aware@.\
+     adversary (paper §1 Discussion).  Numbers are mean rounds until u@.\
+     first hears anything.@.@."
+    trials;
+  let table =
+    Stats.Table.create ~title:"fixed schedule vs seed-permuted schedule"
+      ~columns:
+        [ "k"; "decay/benign"; "decay/thwart"; "decay x"; "lbalg/benign";
+          "lbalg/thwart"; "lbalg x" ]
+  in
+  List.iter
+    (fun k ->
+      let dual = Geo.gray_cluster ~k ~r:1.5 () in
+      let levels = Baseline.Decay.levels_for ~delta':(Dual.delta' dual) in
+      let hot_levels = Baseline.Decay.hot_levels_against ~levels ~contention:k in
+      let thwart = Sch.thwart ~hot:(Baseline.Decay.hot_predicate ~levels ~hot_levels) in
+      let benign seed = Sch.bernoulli ~seed ~p:0.5 in
+      let db = mean_latency (fun ~seed -> decay_latency ~dual ~scheduler:(benign seed) ~seed) in
+      let dt = mean_latency (fun ~seed -> decay_latency ~dual ~scheduler:thwart ~seed) in
+      let lb = mean_latency (fun ~seed -> lbalg_latency ~dual ~scheduler:(benign seed) ~seed) in
+      let lt = mean_latency (fun ~seed -> lbalg_latency ~dual ~scheduler:thwart ~seed) in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int k;
+          Stats.Table.cell_float ~decimals:0 db;
+          Stats.Table.cell_float ~decimals:0 dt;
+          Stats.Table.cell_float ~decimals:1 (dt /. Float.max 1.0 db);
+          Stats.Table.cell_float ~decimals:0 lb;
+          Stats.Table.cell_float ~decimals:0 lt;
+          Stats.Table.cell_float ~decimals:1 (lt /. Float.max 1.0 lb);
+        ])
+    [ 8; 16; 32; 64 ];
+  Stats.Table.print table;
+  print_endline
+    "Decay's slowdown factor under the adversary grows with the grey-zone\n\
+     contention k; LBAlg's stays flat near 1 (its latency follows t_prog,\n\
+     which depends on log Δ, not on the link schedule)."

@@ -1,0 +1,67 @@
+(* An Internet-of-Things style deployment: a large sensor field where a
+   handful of sensors continuously publish readings to their reliable
+   neighborhoods — the ubiquitous-computing scenario the paper's "true
+   locality" argument targets.
+
+   The point demonstrated here: the SAME parameters (derived from Δ, Δ',
+   r, ε₁ only) drive fields of 50, 150 and 300 nodes, and the measured
+   per-node guarantees do not degrade as n grows — time and error depend
+   only on local density.
+
+   Run with:  dune exec examples/iot_field.exe  (takes ~a minute) *)
+
+open Core
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module L = Localcast
+
+(* Constant density: area scales with n. *)
+let field_for ~rng ~n =
+  let side = sqrt (float_of_int n /. 4.0) in
+  Geo.random_field ~rng ~n ~width:side ~height:side ~r:1.5 ~gray_g':0.5 ()
+
+let run_field ~n ~seed =
+  let rng = Prng.Rng.of_int seed in
+  let dual = field_for ~rng ~n in
+  (* Parameters from a fixed LOCAL density bound, not from this topology's
+     incidental maxima — the same numbers work for every n. *)
+  let params = L.Params.make ~delta:32 ~delta':48 ~r:1.5 ~eps1:0.1 ~tack_phases:4 () in
+  let senders = List.init (max 1 (n / 10)) (fun i -> i * 10) in
+  let nodes = L.Lb_alg.network params ~rng ~n in
+  let envt = L.Lb_env.saturate ~n ~senders () in
+  let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
+  let rounds = 5 * params.L.Params.phase_len in
+  let (_ : int) =
+    Radiosim.Engine.run
+      ~observer:(L.Lb_spec.observe monitor)
+      ~dual
+      ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+      ~nodes ~env:(L.Lb_env.env envt) ~rounds ()
+  in
+  (dual, params, L.Lb_spec.finish monitor)
+
+let () =
+  let table =
+    Stats.Table.create ~title:"IoT field: same local parameters, growing n"
+      ~columns:
+        [ "n"; "max deg"; "senders"; "validity"; "progress"; "reliability"; "max ack" ]
+  in
+  List.iter
+    (fun n ->
+      let dual, _params, report = run_field ~n ~seed:(100 + n) in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int n;
+          Stats.Table.cell_int (Dual.delta dual);
+          Stats.Table.cell_int (max 1 (n / 10));
+          (if report.L.Lb_spec.validity_violations = 0 then "clean" else "VIOLATED");
+          Stats.Table.cell_rate (L.Lb_spec.progress_rate report);
+          Stats.Table.cell_rate (L.Lb_spec.reliability_rate report);
+          Stats.Table.cell_int report.L.Lb_spec.max_ack_latency;
+        ])
+    [ 50; 150; 300 ];
+  Stats.Table.print table;
+  print_endline
+    "Rows share one parameter set derived from the local density bound;\n\
+     the guarantees hold flat while n grows 6x (paper, 'True Locality')."

@@ -1,0 +1,60 @@
+(* Composition over the abstract MAC layer: a multi-hop flood.
+
+   The paper's introduction argues that LBAlg can serve as an abstract
+   MAC layer implementation, porting the corpus of MAC-layer algorithms
+   to the dual graph model.  This example is that composition in action:
+   Macapps.Flood is written purely against Localcast.Mac (bcast / ack /
+   recv events and the f_prog/f_ack bounds) and knows nothing about
+   rounds, collisions or link schedulers — yet it completes across a
+   multihop chain whose unreliable links flap adversarially.
+
+   Run with:  dune exec examples/mac_flood.exe *)
+
+open Core
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+
+let () =
+  let table =
+    Stats.Table.create ~title:"flood over the abstract MAC layer (line topology)"
+      ~columns:[ "hops"; "scheduler"; "covered"; "relays"; "rounds"; "rounds/hop" ]
+  in
+  let schedulers =
+    [ ("reliable-only", fun _ -> Sch.reliable_only);
+      ("flapping", fun seed -> Sch.bernoulli ~seed ~p:0.5) ]
+  in
+  List.iter
+    (fun n ->
+      (* r = 2: each node also has unreliable links two hops out, which
+         the flapping scheduler exploits to create collisions. *)
+      let dual = Geo.line ~n ~spacing:0.9 ~r:2.0 () in
+      let params = Localcast.Params.of_dual ~eps1:0.1 ~tack_phases:3 dual in
+      List.iter
+        (fun (name, mk_sched) ->
+          let result =
+            Macapps.Flood.run ~params ~rng:(Prng.Rng.of_int (n * 37)) ~dual
+              ~scheduler:(mk_sched n) ~source:0
+              ~max_rounds:(100 * n * params.Localcast.Params.phase_len)
+              ()
+          in
+          let rounds =
+            match result.Macapps.Flood.completion_round with
+            | Some r -> r
+            | None -> result.Macapps.Flood.rounds_executed
+          in
+          Stats.Table.add_row table
+            [
+              Stats.Table.cell_int (n - 1);
+              name;
+              Printf.sprintf "%d/%d" result.Macapps.Flood.covered_count n;
+              Stats.Table.cell_int result.Macapps.Flood.relays;
+              Stats.Table.cell_int rounds;
+              Stats.Table.cell_int (rounds / max 1 (n - 1));
+            ])
+        schedulers)
+    [ 3; 6; 10 ];
+  Stats.Table.print table;
+  print_endline
+    "Completion scales linearly with hop count (O(D · f_ack) shape); the\n\
+     application code never mentions links, rounds or collisions."

@@ -1,0 +1,64 @@
+(* Quickstart: stand up a local broadcast service on a random dual graph
+   and watch it meet its spec.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The flow below is the canonical way to use the library:
+   1. build (or load) a dual graph topology,
+   2. derive LB parameters from its local degree bounds (never from n!),
+   3. build the LBAlg network and an environment that feeds it bcasts,
+   4. run the synchronous engine under some oblivious link scheduler,
+   5. check the execution against the LB(t_ack, t_prog, ε) spec. *)
+
+open Core
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module L = Localcast
+
+let () =
+  let rng = Prng.Rng.of_int 2026 in
+
+  (* 1. A 30-node field, 1.5-geographic, with half the grey-zone pairs
+        getting unreliable links. *)
+  let dual =
+    Geo.random_field ~rng ~n:30 ~width:4.0 ~height:4.0 ~r:1.5 ~gray_g':0.5 ()
+  in
+  Format.printf "topology: %a@." Dual.pp dual;
+
+  (* 2. Parameters from (Δ, Δ', r, ε₁) only. *)
+  let params = L.Params.of_dual ~eps1:0.1 ~tack_phases:4 dual in
+  Format.printf "%a@.@." L.Params.pp params;
+
+  (* 3. LBAlg nodes + an environment that keeps nodes 0 and 7 sending. *)
+  let nodes = L.Lb_alg.network params ~rng ~n:(Dual.n dual) in
+  let envt = L.Lb_env.saturate ~n:(Dual.n dual) ~senders:[ 0; 7 ] () in
+
+  (* 4. Run 8 phases under an adversarially flickering link scheduler,
+        with the spec monitor watching every round. *)
+  let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
+  let rounds = 8 * params.L.Params.phase_len in
+  let executed =
+    Radiosim.Engine.run
+      ~observer:(L.Lb_spec.observe monitor)
+      ~dual
+      ~scheduler:(Sch.bernoulli ~seed:1 ~p:0.5)
+      ~nodes ~env:(L.Lb_env.env envt) ~rounds ()
+  in
+
+  (* 5. Report. *)
+  let report = L.Lb_spec.finish monitor in
+  Format.printf "ran %d rounds (%d phases)@." executed
+    (executed / params.L.Params.phase_len);
+  Format.printf "validity violations : %d@." report.L.Lb_spec.validity_violations;
+  Format.printf "acks                : %d (late: %d, missing: %d, max latency: %d)@."
+    report.L.Lb_spec.ack_count report.L.Lb_spec.late_ack_count
+    report.L.Lb_spec.missing_ack_count report.L.Lb_spec.max_ack_latency;
+  Format.printf "reliability         : %d/%d (%.1f%%)@."
+    (report.L.Lb_spec.reliability_attempts - report.L.Lb_spec.reliability_failures)
+    report.L.Lb_spec.reliability_attempts
+    (100.0 *. L.Lb_spec.reliability_rate report);
+  Format.printf "progress            : %d/%d (%.1f%%)@."
+    (report.L.Lb_spec.progress_opportunities - report.L.Lb_spec.progress_failures)
+    report.L.Lb_spec.progress_opportunities
+    (100.0 *. L.Lb_spec.progress_rate report)

@@ -1,0 +1,28 @@
+let levels_for ~delta' =
+  let rec bits k = if 1 lsl k >= delta' then k else bits (k + 1) in
+  max 1 (bits 0) + 1
+
+let node ~levels ~message ~rng =
+  if levels < 1 then invalid_arg "Decay.node: levels must be >= 1";
+  let decide ~round _inputs =
+    let level = round mod levels in
+    let p = 1.0 /. float_of_int (1 lsl (level + 1)) in
+    if Prng.Rng.bernoulli rng p then
+      Radiosim.Process.Transmit (Localcast.Messages.Data message)
+    else Radiosim.Process.Listen
+  in
+  { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }
+
+let hot_predicate ~levels ~hot_levels round = round mod levels < hot_levels
+
+let hot_levels_against ~levels ~contention =
+  if contention < 1 then 0
+  else begin
+    let threshold = log (float_of_int (contention + 1)) /. float_of_int contention in
+    let rec count j =
+      if j >= levels then j
+      else if 1.0 /. float_of_int (1 lsl (j + 1)) > threshold then count (j + 1)
+      else j
+    in
+    count 0
+  end

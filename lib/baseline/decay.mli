@@ -1,0 +1,40 @@
+(** The Decay broadcast strategy of Bar-Yehuda, Goldreich and Itai
+    (paper's reference [2]) — the fixed-probability-schedule baseline.
+
+    An active sender cycles through a fixed schedule of geometrically
+    decreasing broadcast probabilities: in round [t] it transmits with
+    probability [2^-(level t + 1)] where [level t = t mod levels].  In the
+    classical radio network model some level always matches the local
+    contention, giving O(log) progress.  The paper's Discussion explains
+    why this fails in the dual graph model: an oblivious link scheduler,
+    knowing the fixed schedule, can raise contention exactly in the
+    high-probability rounds and starve the links in the rest — experiment
+    E8 reproduces this collapse against the {!Radiosim.Scheduler.thwart}
+    adversary built from {!hot_predicate}. *)
+
+val levels_for : delta':int -> int
+(** The standard schedule depth: ⌈log₂ Δ'⌉ + 1 levels. *)
+
+val node :
+  levels:int ->
+  message:Localcast.Messages.payload ->
+  rng:Prng.Rng.t ->
+  (Localcast.Messages.msg, unit, unit) Radiosim.Process.node
+(** A perpetually active Decay sender for [message]. *)
+
+val hot_predicate : levels:int -> hot_levels:int -> int -> bool
+(** [hot_predicate ~levels ~hot_levels] marks as hot every round whose
+    schedule level is below [hot_levels] — i.e. the rounds in which Decay
+    transmits with its highest probabilities.  Feed it to
+    {!Radiosim.Scheduler.thwart}. *)
+
+val hot_levels_against : levels:int -> contention:int -> int
+(** The adversary's optimal cut against [contention] grey-zone
+    broadcasters: flooding the topology with the grey links hurts the
+    receiver exactly when the schedule probability [p] satisfies
+    [(contention + 1)·p·(1 - p)^contention < p], i.e.
+    [p > ln(contention + 1) / contention]; below that, adding
+    transmitters would {e help} the receiver, so the adversary removes
+    them instead and leaves the lone reliable sender transmitting with
+    its tiny probability.  Returns the number of leading schedule levels
+    worth keeping hot. *)

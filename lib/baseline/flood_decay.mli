@@ -1,0 +1,31 @@
+(** Physical-layer flooding with Decay contention management.
+
+    The classical global-broadcast construction (Bar-Yehuda–Goldreich–
+    Itai [2]): a covered node relays the message using the Decay
+    probability sweep for a fixed number of epochs, then falls silent.
+    It runs directly on the radio model with no reliability layer
+    underneath, so it is fast on benign schedules — and exposed to the
+    dual graph's unreliable links: there is no acknowledgement, so a node
+    whose relay epochs were eaten by adversarial contention never
+    retries, and coverage can stall.  Experiment E18 compares it with the
+    flood composed over the abstract MAC layer. *)
+
+type result = {
+  covered : bool array;
+  covered_count : int;
+  completion_round : int option;  (** first round with every node covered *)
+  rounds_executed : int;
+}
+
+val run :
+  rng:Prng.Rng.t ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Radiosim.Scheduler.t ->
+  source:int ->
+  relay_epochs:int ->
+  max_rounds:int ->
+  unit ->
+  result
+(** Every node that becomes covered relays for [relay_epochs] Decay
+    epochs (of ⌈log₂ Δ'⌉ + 1 rounds each), starting at the next round
+    after its first reception. *)

@@ -1,0 +1,30 @@
+module M = Localcast.Messages
+module P = Radiosim.Process
+
+let node ~rounds ~p ~kappa ~id ~rng =
+  if rounds < 1 then invalid_arg "Gossip_seed.node: rounds must be >= 1";
+  if kappa < 1 then invalid_arg "Gossip_seed.node: kappa must be >= 1";
+  let own = { M.owner = id; seed = Prng.Bitstring.random rng kappa } in
+  let best = ref own in
+  let decided = ref false in
+  let decide ~round _inputs =
+    if round < rounds && Prng.Rng.bernoulli rng p then
+      (* Always advertise the current best, so minima spread by relay. *)
+      P.Transmit (M.Seed_msg !best)
+    else P.Listen
+  in
+  let absorb ~round received =
+    (match received with
+    | Some (M.Seed_msg announcement) when round < rounds ->
+        if announcement.M.owner < !best.M.owner then best := announcement
+    | Some (M.Seed_msg _) | Some (M.Data _) | None -> ());
+    if round = rounds - 1 && not !decided then begin
+      decided := true;
+      [ M.Decide !best ]
+    end
+    else []
+  in
+  { P.decide; absorb }
+
+let network ~rounds ~p ~kappa ~rng ~n =
+  Array.init n (fun id -> node ~rounds ~p ~kappa ~id ~rng:(Prng.Rng.split rng))

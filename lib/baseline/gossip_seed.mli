@@ -1,0 +1,32 @@
+(** A strawman seed-agreement protocol, for calibrating SeedAlg.
+
+    Every node draws a seed, then for [rounds] rounds broadcasts its
+    [(id, seed)] with a fixed probability [p] while remembering the
+    smallest-id announcement it has heard; at the end it commits to the
+    minimum of its own and every heard announcement.
+
+    Contrast with SeedAlg (paper §3): no phases, no leader thinning, no
+    deactivation — so the transmission load never decreases, the
+    fixed probability [p] is exposed to exactly the link-scheduler attack
+    the Discussion describes, and nothing bounds the number of distinct
+    owners a neighborhood commits beyond what the min-convergence
+    happens to achieve in [rounds] rounds.  Experiment E17 measures the
+    resulting time/quality trade-off against SeedAlg. *)
+
+val node :
+  rounds:int ->
+  p:float ->
+  kappa:int ->
+  id:int ->
+  rng:Prng.Rng.t ->
+  (Localcast.Messages.msg, unit, Localcast.Messages.seed_output) Radiosim.Process.node
+(** Emits its single [Decide] output at local round [rounds - 1]. *)
+
+val network :
+  rounds:int ->
+  p:float ->
+  kappa:int ->
+  rng:Prng.Rng.t ->
+  n:int ->
+  (Localcast.Messages.msg, unit, Localcast.Messages.seed_output) Radiosim.Process.node
+  array

@@ -1,0 +1,18 @@
+(** Progress-latency harness shared by the baseline experiments.
+
+    Runs a network of always-active senders plus passive listeners and
+    reports how long a designated receiver waits for its first clean data
+    reception — the quantity the paper's progress bound controls. *)
+
+val first_reception :
+  dual:Dualgraph.Dual.t ->
+  scheduler:Radiosim.Scheduler.t ->
+  nodes:(Localcast.Messages.msg, unit, unit) Radiosim.Process.node array ->
+  receiver:int ->
+  max_rounds:int ->
+  int option
+(** The 0-based round of the receiver's first clean data reception, or
+    [None] if it starves for [max_rounds] rounds. *)
+
+val receiver : unit -> (Localcast.Messages.msg, unit, unit) Radiosim.Process.node
+(** A silent listener. *)

@@ -1,0 +1,8 @@
+let node ~n ~id ~message =
+  if n < 1 || id < 0 || id >= n then invalid_arg "Round_robin.node: bad id/n";
+  let decide ~round _inputs =
+    if round mod n = id then
+      Radiosim.Process.Transmit (Localcast.Messages.Data message)
+    else Radiosim.Process.Listen
+  in
+  { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }

@@ -1,0 +1,15 @@
+(** Round-robin transmission (Clementi, Monti, Silvestri — paper's
+    reference [4]).
+
+    Node [id] transmits exactly in rounds [t ≡ id (mod n)], which is
+    collision-free and fault-tolerant-optimal for global broadcast — but
+    inherently {e non-local}: it needs the global bound [n] and a
+    network-wide id ordering, the very dependence this paper's "true
+    locality" program removes.  Included as the non-local reference point
+    in experiment E8/E9 discussions. *)
+
+val node :
+  n:int ->
+  id:int ->
+  message:Localcast.Messages.payload ->
+  (Localcast.Messages.msg, unit, unit) Radiosim.Process.node

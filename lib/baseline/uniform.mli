@@ -1,0 +1,12 @@
+(** Fixed uniform-probability broadcaster.
+
+    The simplest contention strategy: transmit with a constant probability
+    [p] every round.  Optimal when [p ≈ 1/contention] and the contention
+    never changes — which is exactly what the dual graph's link scheduler
+    violates.  Serves as a second baseline in experiment E8. *)
+
+val node :
+  p:float ->
+  message:Localcast.Messages.payload ->
+  rng:Prng.Rng.t ->
+  (Localcast.Messages.msg, unit, unit) Radiosim.Process.node

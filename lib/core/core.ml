@@ -1,0 +1,13 @@
+(** Umbrella module: one-stop access to the whole local broadcast layer.
+
+    [Core] simply re-exports the constituent libraries so applications can
+    depend on a single name.  See DESIGN.md for the library inventory and
+    README.md for a guided tour. *)
+
+module Prng = Prng
+module Dualgraph = Dualgraph
+module Radiosim = Radiosim
+module Localcast = Localcast
+module Baseline = Baseline
+module Macapps = Macapps
+module Stats = Stats

@@ -1,0 +1,69 @@
+type t = {
+  g : Graph.t;
+  g' : Graph.t;
+  embedding : Embedding.t option;
+  r : float;
+  delta : int;
+  delta' : int;
+  unreliable : (int * int) array;
+}
+
+let check_r_geographic emb r g g' =
+  let n = Embedding.n emb in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Embedding.vertex_distance emb u v in
+      if d <= 1.0 && not (Graph.mem_edge g u v) then ok := false;
+      if d > r && Graph.mem_edge g' u v then ok := false
+    done
+  done;
+  !ok
+
+let create ?embedding ?(r = 1.0) ~g ~g' () =
+  if Graph.n g <> Graph.n g' then
+    invalid_arg "Dual.create: vertex count mismatch between G and G'";
+  if not (Graph.is_subgraph g g') then
+    invalid_arg "Dual.create: E is not a subset of E'";
+  if r < 1.0 then invalid_arg "Dual.create: r must be >= 1";
+  (match embedding with
+  | None -> ()
+  | Some emb ->
+      if Embedding.n emb <> Graph.n g then
+        invalid_arg "Dual.create: embedding size mismatch";
+      if not (check_r_geographic emb r g g') then
+        invalid_arg "Dual.create: embedding violates the r-geographic property");
+  let unreliable =
+    Graph.edges g'
+    |> List.filter (fun (u, v) -> not (Graph.mem_edge g u v))
+    |> Array.of_list
+  in
+  {
+    g;
+    g';
+    embedding;
+    r;
+    delta = max 1 (Graph.max_closed_degree g);
+    delta' = max 1 (Graph.max_closed_degree g');
+    unreliable;
+  }
+
+let g t = t.g
+let g' t = t.g'
+let n t = Graph.n t.g
+let r t = t.r
+let embedding t = t.embedding
+let delta t = t.delta
+let delta' t = t.delta'
+let unreliable_edges t = t.unreliable
+let reliable_neighbors t u = Graph.neighbors t.g u
+let all_neighbors t u = Graph.neighbors t.g' u
+
+let is_r_geographic t =
+  match t.embedding with
+  | None -> false
+  | Some emb -> check_r_geographic emb t.r t.g t.g'
+
+let pp ppf t =
+  Format.fprintf ppf "@[dual n=%d |E|=%d |E'|=%d Δ=%d Δ'=%d r=%.2f@]"
+    (n t) (Graph.edge_count t.g) (Graph.edge_count t.g') t.delta t.delta' t.r

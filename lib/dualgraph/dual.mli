@@ -1,0 +1,51 @@
+(** Dual graphs [(G, G')] with [E ⊆ E'] (paper §2).
+
+    [G] holds the reliable links; [G' \ G] the unreliable ones.  A dual
+    graph may carry an embedding witnessing the r-geographic property.
+    [delta] and [delta'] are the degree bounds Δ and Δ' that the paper
+    assumes every process knows (but {e not} n). *)
+
+type t
+
+val create : ?embedding:Embedding.t -> ?r:float -> g:Graph.t -> g':Graph.t -> unit -> t
+(** Builds a dual graph.  Raises [Invalid_argument] if the vertex sets
+    differ or [E ⊈ E'].  If [embedding] is given, [r] defaults to [1.0]
+    and the r-geographic conditions are {e checked} (raises on
+    violation). *)
+
+val g : t -> Graph.t
+(** The reliable graph G. *)
+
+val g' : t -> Graph.t
+(** The full graph G' (reliable plus unreliable edges). *)
+
+val n : t -> int
+
+val r : t -> float
+(** The geographic parameter; [1.0] when no embedding is attached. *)
+
+val embedding : t -> Embedding.t option
+
+val delta : t -> int
+(** Δ: an upper bound on [|N_G(u) ∪ {u}|] over all u (the exact maximum
+    for this topology). *)
+
+val delta' : t -> int
+(** Δ': the same bound for G'. *)
+
+val unreliable_edges : t -> (int * int) array
+(** The edges of [E' \ E], each once with [u < v], in a fixed order.  The
+    array index is the edge's identity for link schedulers. *)
+
+val reliable_neighbors : t -> int -> int array
+(** [N_G(u)], sorted.  Shared array — do not mutate. *)
+
+val all_neighbors : t -> int -> int array
+(** [N_G'(u)], sorted.  Shared array — do not mutate. *)
+
+val is_r_geographic : t -> bool
+(** Re-checks the r-geographic conditions (always true for dual graphs
+    built with an embedding; false is possible only for hand-built
+    embeddings attached after the fact). *)
+
+val pp : Format.formatter -> t -> unit

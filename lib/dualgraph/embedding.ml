@@ -1,0 +1,17 @@
+type point = { x : float; y : float }
+
+type t = point array
+
+let create points = Array.copy points
+
+let n t = Array.length t
+
+let point t i = t.(i)
+
+let distance p q =
+  let dx = p.x -. q.x and dy = p.y -. q.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let vertex_distance t u v = distance t.(u) t.(v)
+
+let pp_point ppf p = Format.fprintf ppf "(%.3f, %.3f)" p.x p.y

@@ -1,0 +1,25 @@
+(** Euclidean-plane embeddings of graph vertices (paper §2).
+
+    An embedding [emb : V -> R²] supports the r-geographic constraint:
+    vertices at distance ≤ 1 must share a reliable edge, and vertices at
+    distance > r must not even share an unreliable edge.  Everything in
+    the grey zone (1, r] is up to the topology generator. *)
+
+type point = { x : float; y : float }
+
+type t
+(** An embedding of vertices [0 .. n-1]. *)
+
+val create : point array -> t
+(** Takes ownership of the array (a defensive copy is made). *)
+
+val n : t -> int
+
+val point : t -> int -> point
+
+val distance : point -> point -> float
+(** Euclidean distance. *)
+
+val vertex_distance : t -> int -> int -> float
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,140 @@
+let build_from_points ?rng ~r ~gray_g' ~gray_g points =
+  let n = Array.length points in
+  let emb = Embedding.create points in
+  let reliable = ref [] and all = ref [] in
+  let gray_draw p =
+    match rng with
+    | Some rng -> Prng.Rng.bernoulli rng p
+    | None ->
+        if p >= 1.0 then true
+        else if p <= 0.0 then false
+        else invalid_arg "Geometric: fractional grey-zone probability requires ~rng"
+  in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Embedding.vertex_distance emb u v in
+      if d <= 1.0 then begin
+        reliable := (u, v) :: !reliable;
+        all := (u, v) :: !all
+      end
+      else if d <= r then begin
+        if gray_draw gray_g' then begin
+          all := (u, v) :: !all;
+          if gray_draw gray_g then reliable := (u, v) :: !reliable
+        end
+      end
+    done
+  done;
+  let g = Graph.create ~n ~edges:!reliable in
+  let g' = Graph.create ~n ~edges:!all in
+  Dual.create ~embedding:emb ~r ~g ~g' ()
+
+let random_field ~rng ~n ~width ~height ~r ?(gray_g' = 0.5) ?(gray_g = 0.0) () =
+  if n < 0 then invalid_arg "Geometric.random_field: negative n";
+  let points =
+    Array.init n (fun _ ->
+        { Embedding.x = Prng.Rng.float rng width; y = Prng.Rng.float rng height })
+  in
+  build_from_points ~rng ~r ~gray_g' ~gray_g points
+
+let grid ~rows ~cols ~spacing ~r ?(gray_g' = 1.0) ?rng () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Geometric.grid: empty grid";
+  let points =
+    Array.init (rows * cols) (fun i ->
+        let row = i / cols and col = i mod cols in
+        {
+          Embedding.x = float_of_int col *. spacing;
+          y = float_of_int row *. spacing;
+        })
+  in
+  build_from_points ?rng ~r ~gray_g' ~gray_g:0.0 points
+
+let cluster_field ~rng ~clusters ~per_cluster ~field ~r ?(spread = 0.3) ?(gray_g' = 0.5)
+    () =
+  if clusters <= 0 || per_cluster <= 0 then
+    invalid_arg "Geometric.cluster_field: empty cluster spec";
+  let centers =
+    Array.init clusters (fun _ ->
+        { Embedding.x = Prng.Rng.float rng field; y = Prng.Rng.float rng field })
+  in
+  let points =
+    Array.init (clusters * per_cluster) (fun i ->
+        let c = centers.(i / per_cluster) in
+        {
+          Embedding.x = c.Embedding.x +. Prng.Rng.float rng spread;
+          y = c.Embedding.y +. Prng.Rng.float rng spread;
+        })
+  in
+  build_from_points ~rng ~r ~gray_g' ~gray_g:0.0 points
+
+let dense_disk ~rng ~n =
+  if n < 0 then invalid_arg "Geometric.dense_disk: negative n";
+  (* Rejection-sample points in the disk of radius 1/2 around (1/2, 1/2):
+     all pairwise distances are then <= 1. *)
+  let rec draw () =
+    let x = Prng.Rng.float rng 1.0 and y = Prng.Rng.float rng 1.0 in
+    let dx = x -. 0.5 and dy = y -. 0.5 in
+    if (dx *. dx) +. (dy *. dy) <= 0.25 then { Embedding.x; y } else draw ()
+  in
+  build_from_points ~rng ~r:1.0 ~gray_g':0.0 ~gray_g:0.0 (Array.init n (fun _ -> draw ()))
+
+let line ~n ?(spacing = 0.9) ?(r = 1.0) () =
+  if n < 0 then invalid_arg "Geometric.line: negative n";
+  let points =
+    Array.init n (fun i -> { Embedding.x = float_of_int i *. spacing; y = 0.0 })
+  in
+  build_from_points ~r ~gray_g':1.0 ~gray_g:0.0 points
+
+let clique n =
+  if n < 0 then invalid_arg "Geometric.clique: negative n";
+  (* Co-located points within a tiny disk: the reliable graph is complete. *)
+  let points =
+    Array.init n (fun i ->
+        { Embedding.x = 0.001 *. float_of_int (i mod 32); y = 0.0 })
+  in
+  build_from_points ~r:1.0 ~gray_g':0.0 ~gray_g:0.0 points
+
+let pair () = line ~n:2 ~spacing:0.9 ()
+
+let singleton () = clique 1
+
+let gray_cluster ~k ?(r = 1.5) () =
+  if k < 0 then invalid_arg "Geometric.gray_cluster: negative k";
+  if r < 1.41 then invalid_arg "Geometric.gray_cluster: requires r >= 1.41";
+  (* u at the origin; v at (0.9, 0); the grey cluster co-located around
+     (-(1 + r) / 2, 0), i.e. in u's grey zone and out of v's range. *)
+  let gx = -.(1.0 +. r) /. 2.0 in
+  let points =
+    Array.init (k + 2) (fun i ->
+        if i = 0 then { Embedding.x = 0.0; y = 0.0 }
+        else if i = 1 then { Embedding.x = 0.9; y = 0.0 }
+        else { Embedding.x = gx +. (0.0001 *. float_of_int i); y = 0.0 })
+  in
+  build_from_points ~r ~gray_g':1.0 ~gray_g:0.0 points
+
+let ring ~n ?(hop = 0.9) ?(r = 1.0) () =
+  if n < 3 then invalid_arg "Geometric.ring: need n >= 3";
+  (* Chord length between consecutive points equals [hop] when the radius
+     is hop / (2 sin(pi/n)). *)
+  let radius = hop /. (2.0 *. sin (Float.pi /. float_of_int n)) in
+  let points =
+    Array.init n (fun i ->
+        let angle = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+        { Embedding.x = radius *. cos angle; y = radius *. sin angle })
+  in
+  build_from_points ~r ~gray_g':1.0 ~gray_g:0.0 points
+
+let corridor ~rng ~n ~length ?(height = 0.8) ?(r = 1.5) ?(gray_g' = 0.5) () =
+  if n < 0 then invalid_arg "Geometric.corridor: negative n";
+  let points =
+    Array.init n (fun _ ->
+        { Embedding.x = Prng.Rng.float rng length; y = Prng.Rng.float rng height })
+  in
+  build_from_points ~rng ~r ~gray_g' ~gray_g:0.0 points
+
+let star_unembedded ~leaves =
+  if leaves < 0 then invalid_arg "Geometric.star_unembedded: negative leaves";
+  let n = leaves + 1 in
+  let edges = List.init leaves (fun i -> (0, i + 1)) in
+  let g = Graph.create ~n ~edges in
+  Dual.create ~g ~g':g ()

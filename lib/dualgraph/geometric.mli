@@ -1,0 +1,105 @@
+(** Topology generators.
+
+    Random r-geographic dual graphs (the model class of paper §2) plus
+    deterministic fixtures for tests and targeted experiments.  All random
+    generators are deterministic functions of the supplied {!Prng.Rng.t}.
+
+    Edge policy for embedded generators: for vertices [u, v] at distance
+    [d],
+    - [d <= 1]: reliable edge (forced by the r-geographic property);
+    - [1 < d <= r]: unreliable edge with probability [gray_g'], and
+      additionally promoted to a reliable edge with probability [gray_g]
+      (conditioned on being present at all);
+    - [d > r]: no edge (forced). *)
+
+val random_field :
+  rng:Prng.Rng.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  r:float ->
+  ?gray_g':float ->
+  ?gray_g:float ->
+  unit ->
+  Dual.t
+(** [n] points uniform in a [width × height] field.  Defaults:
+    [gray_g' = 0.5], [gray_g = 0.0]. *)
+
+val grid :
+  rows:int ->
+  cols:int ->
+  spacing:float ->
+  r:float ->
+  ?gray_g':float ->
+  ?rng:Prng.Rng.t ->
+  unit ->
+  Dual.t
+(** Lattice of [rows × cols] points at the given spacing.  With
+    [spacing <= 1] the reliable graph is (at least) the king-graph
+    neighborhood.  [rng] is needed only when [0 < gray_g' < 1]
+    (default [gray_g' = 1], i.e. all grey-zone pairs get unreliable
+    edges, which needs no randomness). *)
+
+val cluster_field :
+  rng:Prng.Rng.t ->
+  clusters:int ->
+  per_cluster:int ->
+  field:float ->
+  r:float ->
+  ?spread:float ->
+  ?gray_g':float ->
+  unit ->
+  Dual.t
+(** [clusters] tight clusters of [per_cluster] co-located points (within
+    [spread], default 0.3) whose centers are uniform in a [field × field]
+    square.  Produces high Δ with controlled locality. *)
+
+val dense_disk : rng:Prng.Rng.t -> n:int -> Dual.t
+(** [n] points in a disk of radius 1/2 — the reliable graph is a clique
+    (Δ = n).  The worst case for acknowledgement bounds. *)
+
+val line : n:int -> ?spacing:float -> ?r:float -> unit -> Dual.t
+(** [n] points on a line at [spacing] (default 0.9): a multihop chain.
+    With [r >= 2 * spacing] grey-zone (unreliable) edges join vertices two
+    hops apart. *)
+
+val clique : int -> Dual.t
+(** [clique n]: co-located points; G = G' = complete graph. *)
+
+val pair : unit -> Dual.t
+(** Two vertices joined by a reliable edge. *)
+
+val singleton : unit -> Dual.t
+(** One isolated vertex. *)
+
+val gray_cluster : k:int -> ?r:float -> unit -> Dual.t
+(** The decay-thwarting fixture (experiment E8): vertex 0 is the receiver
+    [u]; vertex 1 is its single reliable neighbor [v]; vertices
+    [2 .. k+1] are a co-located cluster in the grey zone of [u]
+    (unreliable edges to [u], no edges to [v], reliable clique among
+    themselves).  Requires [r >= 1.41] (default 1.5) so the grey cluster
+    fits outside [v]'s range. *)
+
+val ring : n:int -> ?hop:float -> ?r:float -> unit -> Dual.t
+(** [n] points on a circle with consecutive points [hop] apart (default
+    0.9): a cycle in G.  With [r >= 2 * hop] each vertex also gets
+    grey-zone (unreliable) edges to its 2-hop neighbors.  Requires
+    [n >= 3]. *)
+
+val corridor :
+  rng:Prng.Rng.t ->
+  n:int ->
+  length:float ->
+  ?height:float ->
+  ?r:float ->
+  ?gray_g':float ->
+  unit ->
+  Dual.t
+(** [n] points uniform in a thin [length × height] strip (default height
+    0.8): a long multihop network with high local density — the shape of
+    a vehicular or pipeline deployment. *)
+
+val star_unembedded : leaves:int -> Dual.t
+(** Hub 0 with [leaves] reliable spokes and no leaf-leaf edges.  No
+    embedding (such stars are not geographically realizable beyond 5
+    leaves); for unit tests of the engine only. *)

@@ -1,0 +1,100 @@
+type t = {
+  size : int;
+  adj : int array array;
+  edge_set : (int, unit) Hashtbl.t;
+}
+
+let edge_key size u v =
+  let lo = min u v and hi = max u v in
+  (lo * size) + hi
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.create: vertex %d out of range [0,%d)" v n)
+  in
+  let edge_set = Hashtbl.create (max 16 (List.length edges)) in
+  let buckets = Array.make n [] in
+  let add_edge (u, v) =
+    check u;
+    check v;
+    if u = v then invalid_arg "Graph.create: self-loop";
+    let key = edge_key n u v in
+    if not (Hashtbl.mem edge_set key) then begin
+      Hashtbl.add edge_set key ();
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v)
+    end
+  in
+  List.iter add_edge edges;
+  let adj =
+    Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) buckets
+  in
+  { size = n; adj; edge_set }
+
+let empty n = create ~n ~edges:[]
+
+let n t = t.size
+
+let edge_count t = Hashtbl.length t.edge_set
+
+let neighbors t u = t.adj.(u)
+
+let degree t u = Array.length t.adj.(u)
+
+let mem_edge t u v = u <> v && Hashtbl.mem t.edge_set (edge_key t.size u v)
+
+let edges t =
+  Hashtbl.fold (fun key () acc -> (key / t.size, key mod t.size) :: acc) t.edge_set []
+  |> List.sort compare
+
+let max_closed_degree t =
+  let best = ref 1 in
+  for u = 0 to t.size - 1 do
+    best := max !best (degree t u + 1)
+  done;
+  if t.size = 0 then 0 else !best
+
+let is_subgraph g g' =
+  n g = n g'
+  && List.for_all (fun (u, v) -> mem_edge g' u v) (edges g)
+
+let union a b =
+  if n a <> n b then invalid_arg "Graph.union: vertex count mismatch";
+  create ~n:(n a) ~edges:(edges a @ edges b)
+
+let bfs_distances t src =
+  let dist = Array.make t.size max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      t.adj.(u)
+  done;
+  dist
+
+let is_connected t =
+  t.size <= 1
+  || Array.for_all (fun d -> d < max_int) (bfs_distances t 0)
+
+let diameter t =
+  if t.size <= 1 then 0
+  else begin
+    if not (is_connected t) then invalid_arg "Graph.diameter: disconnected graph";
+    let best = ref 0 in
+    for u = 0 to t.size - 1 do
+      Array.iter (fun d -> if d > !best then best := d) (bfs_distances t u)
+    done;
+    !best
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@]" t.size (edge_count t)

@@ -1,0 +1,59 @@
+(** Simple undirected graphs on vertices [0 .. n-1].
+
+    This is the substrate under both components of a dual graph
+    [(G, G')].  Vertices are dense integer indices (the simulator
+    addresses nodes by index; the separate injective [id] mapping of the
+    paper's model lives in {!Radiosim} configurations).  Self-loops are
+    rejected; duplicate edges are collapsed. *)
+
+type t
+
+val create : n:int -> edges:(int * int) list -> t
+(** [create ~n ~edges] builds a graph with vertices [0..n-1].  Raises
+    [Invalid_argument] on out-of-range endpoints or self-loops. *)
+
+val empty : int -> t
+(** [empty n] has [n] vertices and no edges. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val edge_count : t -> int
+
+val neighbors : t -> int -> int array
+(** Sorted neighbor array of a vertex.  The returned array is owned by the
+    graph — callers must not mutate it. *)
+
+val degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+(** Symmetric edge membership; [mem_edge g u u] is [false]. *)
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, as [(u, v)] with [u < v], sorted. *)
+
+val max_closed_degree : t -> int
+(** [max_closed_degree g] is the paper's degree bound: the maximum over
+    vertices [u] of [|N(u) ∪ {u}|], i.e. max degree + 1.  This is the
+    quantity Δ (for G) and Δ' (for G'). *)
+
+val is_subgraph : t -> t -> bool
+(** [is_subgraph g g'] checks that [g] and [g'] have the same vertex set
+    and every edge of [g] is an edge of [g'] — the dual graph condition
+    [E ⊆ E']. *)
+
+val union : t -> t -> t
+(** Edge-wise union of two graphs on the same vertex set. *)
+
+val is_connected : t -> bool
+(** Whole-graph connectivity (vacuously true for [n <= 1]). *)
+
+val bfs_distances : t -> int -> int array
+(** [bfs_distances g src] is the array of hop distances from [src];
+    unreachable vertices get [max_int]. *)
+
+val diameter : t -> int
+(** Largest finite pairwise hop distance (0 for [n <= 1]).  Raises
+    [Invalid_argument] if the graph is disconnected. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+let to_string dual =
+  let buf = Buffer.create 1024 in
+  let n = Dual.n dual in
+  Buffer.add_string buf "dualgraph v1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  Buffer.add_string buf (Printf.sprintf "r %f\n" (Dual.r dual));
+  (match Dual.embedding dual with
+  | Some emb ->
+      for v = 0 to n - 1 do
+        let p = Embedding.point emb v in
+        Buffer.add_string buf
+          (Printf.sprintf "point %d %f %f\n" v p.Embedding.x p.Embedding.y)
+      done
+  | None -> ());
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "edge g %d %d\n" u v))
+    (Graph.edges (Dual.g dual));
+  Array.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "edge u %d %d\n" u v))
+    (Dual.unreliable_edges dual);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable n : int option;
+  mutable r : float;
+  mutable points : (int * float * float) list;
+  mutable reliable : (int * int) list;
+  mutable unreliable : (int * int) list;
+  mutable header_seen : bool;
+}
+
+let fail_line line_number message =
+  invalid_arg (Printf.sprintf "Dualgraph.Io: line %d: %s" line_number message)
+
+let of_string text =
+  let state =
+    { n = None; r = 1.0; points = []; reliable = []; unreliable = [];
+      header_seen = false }
+  in
+  let handle_line line_number line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let tokens =
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun t -> t <> "")
+    in
+    let int_of token =
+      match int_of_string_opt token with
+      | Some v -> v
+      | None -> fail_line line_number (Printf.sprintf "expected integer, got %S" token)
+    in
+    let float_of token =
+      match float_of_string_opt token with
+      | Some v -> v
+      | None -> fail_line line_number (Printf.sprintf "expected float, got %S" token)
+    in
+    match tokens with
+    | [] -> ()
+    | [ "dualgraph"; "v1" ] -> state.header_seen <- true
+    | [ "n"; count ] -> state.n <- Some (int_of count)
+    | [ "r"; radius ] -> state.r <- float_of radius
+    | [ "point"; v; x; y ] ->
+        state.points <- (int_of v, float_of x, float_of y) :: state.points
+    | [ "edge"; "g"; u; v ] -> state.reliable <- (int_of u, int_of v) :: state.reliable
+    | [ "edge"; "u"; u; v ] ->
+        state.unreliable <- (int_of u, int_of v) :: state.unreliable
+    | _ -> fail_line line_number (Printf.sprintf "unrecognized record %S" (String.trim line))
+  in
+  List.iteri
+    (fun i line -> handle_line (i + 1) line)
+    (String.split_on_char '\n' text);
+  if not state.header_seen then invalid_arg "Dualgraph.Io: missing 'dualgraph v1' header";
+  let n =
+    match state.n with
+    | Some n -> n
+    | None -> invalid_arg "Dualgraph.Io: missing 'n' record"
+  in
+  let embedding =
+    match state.points with
+    | [] -> None
+    | points ->
+        if List.length points <> n then
+          invalid_arg "Dualgraph.Io: point records must cover every vertex";
+        let coords = Array.make n { Embedding.x = 0.0; y = 0.0 } in
+        let seen = Array.make n false in
+        List.iter
+          (fun (v, x, y) ->
+            if v < 0 || v >= n then invalid_arg "Dualgraph.Io: point vertex out of range";
+            if seen.(v) then invalid_arg "Dualgraph.Io: duplicate point record";
+            seen.(v) <- true;
+            coords.(v) <- { Embedding.x; y })
+          points;
+        Some (Embedding.create coords)
+  in
+  let g = Graph.create ~n ~edges:state.reliable in
+  let g' = Graph.create ~n ~edges:(state.reliable @ state.unreliable) in
+  Dual.create ?embedding ~r:state.r ~g ~g' ()
+
+let save dual ~filename =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string dual))
+
+let load filename =
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,31 @@
+(** Plain-text serialization of dual graphs.
+
+    A simple line-oriented format so topologies can be saved from one run
+    (or authored by hand) and replayed in another — e.g. to reproduce a
+    failure found by a property test, or to feed the CLI a fixed network.
+
+    Format (one record per line, '#' starts a comment):
+    {v
+    dualgraph v1
+    n 4
+    r 1.50
+    point 0 0.000000 0.000000      # optional, all-or-none
+    edge g 0 1                     # reliable edge
+    edge u 0 2                     # unreliable edge (in E' \ E)
+    v}
+
+    Reliable edges are listed under [edge g] and unreliable ones under
+    [edge u]; G' is their union.  Loading re-validates every dual graph
+    invariant (and the r-geographic conditions when points are present),
+    so a corrupted file cannot produce an ill-formed topology. *)
+
+val to_string : Dual.t -> string
+
+val of_string : string -> Dual.t
+(** Raises [Invalid_argument] with a line-numbered message on malformed
+    input, and propagates {!Dual.create}'s validation errors. *)
+
+val save : Dual.t -> filename:string -> unit
+
+val load : string -> Dual.t
+(** [load filename] reads and parses the file. *)

@@ -1,0 +1,90 @@
+let square_side = 0.5
+
+type t = {
+  region_of_vertex : int array;
+  members : int array array;
+  adjacency : int list array;
+}
+
+(* Minimum Euclidean distance between two half-unit grid squares given
+   their integer grid coordinates. *)
+let square_distance (ix1, iy1) (ix2, iy2) =
+  let axis a b =
+    let gap = abs (a - b) in
+    if gap <= 1 then 0.0 else float_of_int (gap - 1) *. square_side
+  in
+  let dx = axis ix1 ix2 and dy = axis iy1 iy2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let coords_of_point (p : Embedding.point) =
+  let f v = int_of_float (Float.floor (v /. square_side)) in
+  (f p.Embedding.x, f p.Embedding.y)
+
+let of_dual dual =
+  match Dual.embedding dual with
+  | None -> invalid_arg "Region.of_dual: dual graph has no embedding"
+  | Some emb ->
+      let n = Dual.n dual in
+      let table = Hashtbl.create 64 in
+      let coords = ref [] in
+      let region_of_vertex = Array.make n (-1) in
+      for v = 0 to n - 1 do
+        let c = coords_of_point (Embedding.point emb v) in
+        let idx =
+          match Hashtbl.find_opt table c with
+          | Some idx -> idx
+          | None ->
+              let idx = Hashtbl.length table in
+              Hashtbl.add table c idx;
+              coords := c :: !coords;
+              idx
+        in
+        region_of_vertex.(v) <- idx
+      done;
+      let k = Hashtbl.length table in
+      let coord_array = Array.make k (0, 0) in
+      Hashtbl.iter (fun c idx -> coord_array.(idx) <- c) table;
+      let buckets = Array.make k [] in
+      for v = n - 1 downto 0 do
+        let x = region_of_vertex.(v) in
+        buckets.(x) <- v :: buckets.(x)
+      done;
+      let members = Array.map Array.of_list buckets in
+      let r = Dual.r dual in
+      let adjacency =
+        Array.init k (fun x ->
+            List.filter_map
+              (fun y ->
+                if y <> x && square_distance coord_array.(x) coord_array.(y) <= r
+                then Some y
+                else None)
+              (List.init k Fun.id))
+      in
+      { region_of_vertex; members; adjacency }
+
+let region_count t = Array.length t.members
+let region_of_vertex t v = t.region_of_vertex.(v)
+let members t x = t.members.(x)
+let region_neighbors t x = t.adjacency.(x)
+
+let regions_within t x h =
+  let k = region_count t in
+  let dist = Array.make k max_int in
+  let queue = Queue.create () in
+  dist.(x) <- 0;
+  Queue.add x queue;
+  while not (Queue.is_empty queue) do
+    let y = Queue.pop queue in
+    if dist.(y) < h then
+      List.iter
+        (fun z ->
+          if dist.(z) = max_int then begin
+            dist.(z) <- dist.(y) + 1;
+            Queue.add z queue
+          end)
+        t.adjacency.(y)
+  done;
+  List.filter (fun y -> dist.(y) <= h) (List.init k Fun.id)
+
+let max_members t =
+  Array.fold_left (fun acc m -> max acc (Array.length m)) 0 t.members

@@ -1,0 +1,38 @@
+(** The region partition of Appendix A.1.
+
+    The plane is cut into half-unit grid squares (so any two points in one
+    region are within distance 1, hence reliable neighbors), and the
+    region graph [G_{R,r}] joins regions containing points within distance
+    [r].  The paper's analysis (goodness contraction, Lemma B.10) lives on
+    this structure; here it powers instrumentation — e.g. the seed
+    agreement spec checker reports per-region leader counts — and tests of
+    the f-boundedness property (Lemma A.2). *)
+
+type t
+(** The occupied regions of one embedded dual graph. *)
+
+val of_dual : Dual.t -> t
+(** Raises [Invalid_argument] if the dual graph carries no embedding. *)
+
+val region_count : t -> int
+(** Number of occupied regions, indexed [0 .. region_count - 1]. *)
+
+val region_of_vertex : t -> int -> int
+(** The region containing a vertex. *)
+
+val members : t -> int -> int array
+(** Vertices inside a region, sorted. *)
+
+val region_neighbors : t -> int -> int list
+(** Adjacent regions in the region graph [G_{R,r}] (within point distance
+    [r], excluding the region itself). *)
+
+val regions_within : t -> int -> int -> int list
+(** [regions_within t x h]: all regions at hop distance ≤ [h] from region
+    [x] in the region graph, including [x] itself. *)
+
+val max_members : t -> int
+(** Largest region population — by Lemma A.3 reasoning this is ≤ Δ. *)
+
+val square_side : float
+(** The grid pitch, 1/2. *)

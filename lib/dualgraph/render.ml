@@ -1,0 +1,74 @@
+let field ?(columns = 60) dual =
+  match Dual.embedding dual with
+  | None -> invalid_arg "Render.field: dual graph has no embedding"
+  | Some emb ->
+      let n = Dual.n dual in
+      if n = 0 then "(empty field)\n"
+      else begin
+        let min_x = ref infinity and max_x = ref neg_infinity in
+        let min_y = ref infinity and max_y = ref neg_infinity in
+        for v = 0 to n - 1 do
+          let p = Embedding.point emb v in
+          if p.Embedding.x < !min_x then min_x := p.Embedding.x;
+          if p.Embedding.x > !max_x then max_x := p.Embedding.x;
+          if p.Embedding.y < !min_y then min_y := p.Embedding.y;
+          if p.Embedding.y > !max_y then max_y := p.Embedding.y
+        done;
+        let span_x = Float.max 1e-9 (!max_x -. !min_x) in
+        let span_y = Float.max 1e-9 (!max_y -. !min_y) in
+        let cols = max 1 columns in
+        (* Terminal cells are ~2x taller than wide; halve the row count to
+           keep the sketch roughly isometric. *)
+        let rows =
+          max 1 (int_of_float (Float.round (float_of_int cols *. span_y /. span_x /. 2.0)))
+        in
+        let counts = Array.make_matrix rows cols 0 in
+        for v = 0 to n - 1 do
+          let p = Embedding.point emb v in
+          let col =
+            min (cols - 1)
+              (int_of_float ((p.Embedding.x -. !min_x) /. span_x *. float_of_int (cols - 1)))
+          in
+          let row =
+            min (rows - 1)
+              (int_of_float ((p.Embedding.y -. !min_y) /. span_y *. float_of_int (rows - 1)))
+          in
+          counts.(row).(col) <- counts.(row).(col) + 1
+        done;
+        let buf = Buffer.create (rows * (cols + 1)) in
+        for row = rows - 1 downto 0 do
+          for col = 0 to cols - 1 do
+            let c = counts.(row).(col) in
+            Buffer.add_char buf
+              (if c = 0 then '.'
+               else if c <= 9 then Char.chr (Char.code '0' + c)
+               else '+')
+          done;
+          Buffer.add_char buf '\n'
+        done;
+        Buffer.contents buf
+      end
+
+let degree_histogram dual =
+  let g = Dual.g dual in
+  let n = Dual.n dual in
+  if n = 0 then "(no vertices)\n"
+  else begin
+    let max_degree = ref 0 in
+    for v = 0 to n - 1 do
+      if Graph.degree g v > !max_degree then max_degree := Graph.degree g v
+    done;
+    let counts = Array.make (!max_degree + 1) 0 in
+    for v = 0 to n - 1 do
+      let d = Graph.degree g v in
+      counts.(d) <- counts.(d) + 1
+    done;
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun degree count ->
+        if count > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "deg %2d | %s %d\n" degree (String.make count '#') count))
+      counts;
+    Buffer.contents buf
+  end

@@ -1,0 +1,20 @@
+(** ASCII rendering of embedded topologies.
+
+    Terminal-friendly sketches for the CLI and for debugging property-test
+    counterexamples: the embedding is scaled onto a character grid, with
+    one glyph per cell ('.' empty, a digit for 1-9 co-located nodes, '+'
+    for 10 or more). *)
+
+val field : ?columns:int -> Dual.t -> string
+(** [field dual] sketches the node positions.  [columns] bounds the grid
+    width (default 60); the aspect ratio is preserved approximately
+    (terminal cells being about twice as tall as wide).  Raises
+    [Invalid_argument] if the dual graph carries no embedding. *)
+
+val degree_histogram : Dual.t -> string
+(** A textual histogram of reliable degrees — a quick look at Δ's
+    distribution, e.g.:
+    {v
+    deg  3 | ###### 6
+    deg  4 | ########## 10
+    v} *)

@@ -1,0 +1,62 @@
+(** LBAlg: the local broadcast algorithm (paper §4.2).
+
+    Rounds are partitioned into phases of [Ts + Tprog] rounds.  Each phase
+    opens with a SeedAlg(ε₂) preamble in which every node — sender or
+    receiver — participates; the committed seed supplies the {e shared}
+    random bits for the phase's body rounds.  During a body round a node
+    in sending state:
+
+    + consumes [d] shared bits; it is a {e participant} iff all are zero
+      (probability ≈ 1/(r² log(1/ε₂))) — nodes that committed the same
+      seed make the same choice, so whole seed-groups participate or
+      abstain together, restoring independence from the oblivious link
+      schedule;
+    + if a non-participant, listens;
+    + if a participant, consumes [level_bits] shared bits to pick a
+      probability level [b ∈ \[log Δ\]], then flips [b] {e local} fair
+      coins and transmits its message iff all landed zero (probability
+      [2^{-b}]).
+
+    A node in receiving state listens through the body.  Every clean
+    reception of a not-previously-seen message yields a [Recv] output.
+    A [bcast(m)] input puts the node into sending state from the next
+    phase boundary, for [Tack] full phases, after which it emits [Ack m]
+    at the phase's last round and returns to receiving.
+
+    With [Params.seed_refresh = k > 1], only every k-th phase carries a
+    preamble (§4.2's closing remark); the other phases are pure body and
+    the committed seed is sized to last the whole cycle. *)
+
+type seed_source =
+  | Agreement
+      (** the paper's algorithm: run SeedAlg in each phase preamble *)
+  | Oracle of Prng.Rng.t
+      (** ablation: a magical global seed service hands every node the
+          {e same} fresh seed at each preamble (drawn from the given
+          shared generator).  The phase structure — including the
+          preamble rounds, spent idle — is kept identical, so comparing
+          against [Agreement] isolates the {e quality} cost of loose
+          coordination (several seed groups per neighborhood instead of
+          one), not its time cost.  Used by experiment E14. *)
+
+val node :
+  ?seed_source:seed_source ->
+  Params.t ->
+  id:int ->
+  rng:Prng.Rng.t ->
+  (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Process.node
+
+val network :
+  ?seed_source:seed_source ->
+  Params.t ->
+  rng:Prng.Rng.t ->
+  n:int ->
+  (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Process.node array
+(** One node per vertex, ids [0..n-1], independent split RNGs.  All
+    nodes share the given [seed_source] (default [Agreement]). *)
+
+val phase_of_round : Params.t -> int -> int
+(** Which phase (0-based) a global round belongs to. *)
+
+val is_preamble_round : Params.t -> int -> bool
+(** Whether a global round falls inside a SeedAlg preamble. *)

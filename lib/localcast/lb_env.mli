@@ -1,0 +1,38 @@
+(** Deterministic environments for the local broadcast problem (§4.1).
+
+    The problem constrains environments to (1) never reuse a message and
+    (2) wait for [ack(m)_u] before handing [u] another [bcast].  The
+    environments here obey both and keep a {!log} of every bcast/ack pair,
+    which the {!Lb_spec} checker consumes to reconstruct the
+    actively-broadcasting intervals. *)
+
+type entry = {
+  node : int;
+  payload : Messages.payload;
+  bcast_round : int;
+  mutable ack_round : int option;
+  mutable recv_rounds : (int * int) list;
+      (** [(receiver, round)] of every [Recv] of this payload *)
+}
+
+type t
+
+val env : t -> (Messages.lb_input, Messages.lb_output) Radiosim.Env.t
+
+val log : t -> entry list
+(** All entries, in bcast order. *)
+
+val saturate : ?start:int -> n:int -> senders:int list -> unit -> t
+(** Every node in [senders] receives a fresh [bcast] at round [start]
+    (default 0) and again one round after each of its acks — so senders
+    are actively broadcasting essentially forever.  This realizes the
+    progress property's hypothesis (an always-active G-neighbor). *)
+
+val one_shot : n:int -> bcasts:(int * int) list -> t
+(** [one_shot ~n ~bcasts] issues a single [bcast] to each [(node, round)]
+    pair.  Used for acknowledgement-latency and reliability experiments. *)
+
+val is_active : t -> node:int -> round:int -> bool
+(** Whether the node is actively broadcasting some message in the given
+    round (it received a bcast at or before [round] and had not acked it
+    by the end of round [round - 1]). *)

@@ -1,0 +1,50 @@
+(** Post-hoc analytics over LBAlg traces (Lemma C.1's decomposition).
+
+    Lemma C.1 bounds the per-round reception probability by decomposing a
+    body round into: the seed groups in a neighborhood (at most δ), the
+    event that exactly one group participates, and the event that exactly
+    one member of that group transmits.  These helpers reconstruct the
+    observable parts of that decomposition from a recorded trace: the
+    group structure (from the [Committed] instrumentation outputs) and
+    each receiver's per-round contention (from the actions and the link
+    schedule).
+
+    All functions are pure trace analyses — they never perturb an
+    execution. *)
+
+type contention = {
+  body_rounds : int;  (** body rounds examined *)
+  silent : int;  (** rounds with no transmitting topology-neighbor *)
+  single : int;  (** rounds with exactly one (a clean reception) *)
+  collision : int;  (** rounds with two or more *)
+}
+
+val reception_rate : contention -> float
+(** [single / body_rounds] — the empirical p_u. *)
+
+val contention_profile :
+  dual:Dualgraph.Dual.t ->
+  scheduler:Radiosim.Scheduler.t ->
+  params:Params.t ->
+  node:int ->
+  (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Trace.t ->
+  contention
+(** Classify every body round of the trace by the number of transmitting
+    neighbors the node faces under the given link schedule (which must be
+    the schedule the trace was produced under). *)
+
+val committed_owners :
+  params:Params.t ->
+  n:int ->
+  phase:int ->
+  (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Trace.t ->
+  int option array
+(** The seed owner each node committed for the given phase ([None] when
+    the trace does not cover that phase's commit, e.g. a non-refresh
+    phase under [seed_refresh > 1], where the owner is the one committed
+    at the preceding refresh phase). *)
+
+val groups_in_neighborhood :
+  dual:Dualgraph.Dual.t -> owners:int option array -> node:int -> int
+(** Distinct committed owners across the node's closed G'-neighborhood —
+    the [k <= δ] of Lemma C.1. *)

@@ -1,0 +1,228 @@
+module Dual = Dualgraph.Dual
+module Trace = Radiosim.Trace
+
+type report = {
+  rounds_observed : int;
+  validity_violations : int;
+  ack_count : int;
+  late_ack_count : int;
+  missing_ack_count : int;
+  max_ack_latency : int;
+  reliability_attempts : int;
+  reliability_failures : int;
+  progress_opportunities : int;
+  progress_failures : int;
+  progress_latencies : int list;
+}
+
+let reliability_rate r =
+  if r.reliability_attempts = 0 then 1.0
+  else
+    float_of_int (r.reliability_attempts - r.reliability_failures)
+    /. float_of_int r.reliability_attempts
+
+let progress_rate r =
+  if r.progress_opportunities = 0 then 1.0
+  else
+    float_of_int (r.progress_opportunities - r.progress_failures)
+    /. float_of_int r.progress_opportunities
+
+type monitor = {
+  dual : Dual.t;
+  params : Params.t;
+  n : int;
+  t_ack : int;
+  (* activity tracking *)
+  active : Messages.payload option array;
+  bcast_round : (Messages.payload, int) Hashtbl.t;
+  receivers : (Messages.payload, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* per-phase progress tracking *)
+  mutable active_all : bool array;  (** active in every round of this phase *)
+  mutable first_reception : int array;
+      (** offset of the first qualifying reception this phase, -1 if none *)
+  (* accumulators *)
+  mutable rounds_observed : int;
+  mutable validity_violations : int;
+  mutable ack_count : int;
+  mutable late_ack_count : int;
+  mutable max_ack_latency : int;
+  mutable reliability_attempts : int;
+  mutable reliability_failures : int;
+  mutable progress_opportunities : int;
+  mutable progress_failures : int;
+  mutable progress_latencies_rev : int list;
+  mutable finished : bool;
+}
+
+let monitor ~dual ~params ~env:_ =
+  let n = Dual.n dual in
+  {
+    dual;
+    params;
+    n;
+    t_ack = Params.t_ack_rounds params;
+    active = Array.make n None;
+    bcast_round = Hashtbl.create 32;
+    receivers = Hashtbl.create 32;
+    active_all = Array.make n true;
+    first_reception = Array.make n (-1);
+    rounds_observed = 0;
+    validity_violations = 0;
+    ack_count = 0;
+    late_ack_count = 0;
+    max_ack_latency = 0;
+    reliability_attempts = 0;
+    reliability_failures = 0;
+    progress_opportunities = 0;
+    progress_failures = 0;
+    progress_latencies_rev = [];
+    finished = false;
+  }
+
+let close_phase m =
+  for u = 0 to m.n - 1 do
+    let opportunity =
+      Array.exists
+        (fun v -> m.active_all.(v))
+        (Dual.reliable_neighbors m.dual u)
+    in
+    if opportunity then begin
+      m.progress_opportunities <- m.progress_opportunities + 1;
+      if m.first_reception.(u) < 0 then
+        m.progress_failures <- m.progress_failures + 1
+      else
+        m.progress_latencies_rev <-
+          m.first_reception.(u) :: m.progress_latencies_rev
+    end
+  done;
+  Array.fill m.active_all 0 m.n true;
+  Array.fill m.first_reception 0 m.n (-1)
+
+let observe m (record : (Messages.msg, Messages.lb_input, Messages.lb_output) Trace.round_record) =
+  assert (not m.finished);
+  let round = record.Trace.round in
+  (* 1. bcast inputs make their node active from this round on. *)
+  Array.iteri
+    (fun u ins ->
+      List.iter
+        (fun (Messages.Bcast payload) ->
+          m.active.(u) <- Some payload;
+          Hashtbl.replace m.bcast_round payload round)
+        ins)
+    record.Trace.inputs;
+  (* 2. clean receptions of data from an actively-broadcasting source are
+     qualifying progress receptions. *)
+  Array.iteri
+    (fun u delivered ->
+      match delivered with
+      | Some (Messages.Data payload) -> (
+          match m.active.(payload.Messages.src) with
+          | Some active_payload
+            when Messages.payload_equal active_payload payload ->
+              if m.first_reception.(u) < 0 then
+                m.first_reception.(u) <-
+                  round mod m.params.Params.phase_len
+          | _ -> ())
+      | Some (Messages.Seed_msg _) | None -> ())
+    record.Trace.delivered;
+  (* 3a. recv outputs: validity + reliability bookkeeping. *)
+  Array.iteri
+    (fun u outs ->
+      List.iter
+        (fun out ->
+          match out with
+          | Messages.Recv payload ->
+              let src = payload.Messages.src in
+              let valid =
+                src <> u
+                && Array.exists (fun v -> v = src) (Dual.all_neighbors m.dual u)
+                && (match m.active.(src) with
+                   | Some p -> Messages.payload_equal p payload
+                   | None -> false)
+              in
+              if not valid then m.validity_violations <- m.validity_violations + 1;
+              let set =
+                match Hashtbl.find_opt m.receivers payload with
+                | Some set -> set
+                | None ->
+                    let set = Hashtbl.create 8 in
+                    Hashtbl.add m.receivers payload set;
+                    set
+              in
+              Hashtbl.replace set u ()
+          | Messages.Ack _ | Messages.Committed _ -> ())
+        outs)
+    record.Trace.outputs;
+  (* 3b. ack outputs: latency + reliability verdicts; the node stays
+     active through the ack round itself. *)
+  let acked = ref [] in
+  Array.iteri
+    (fun u outs ->
+      List.iter
+        (fun out ->
+          match out with
+          | Messages.Ack payload ->
+              acked := u :: !acked;
+              m.ack_count <- m.ack_count + 1;
+              (match Hashtbl.find_opt m.bcast_round payload with
+              | Some b ->
+                  let latency = round - b in
+                  if latency > m.max_ack_latency then m.max_ack_latency <- latency;
+                  if latency > m.t_ack then
+                    m.late_ack_count <- m.late_ack_count + 1;
+                  Hashtbl.remove m.bcast_round payload
+              | None -> ());
+              m.reliability_attempts <- m.reliability_attempts + 1;
+              let received_by =
+                match Hashtbl.find_opt m.receivers payload with
+                | Some set -> set
+                | None -> Hashtbl.create 1
+              in
+              let all_neighbors_got_it =
+                Array.for_all
+                  (fun v -> Hashtbl.mem received_by v)
+                  (Dual.reliable_neighbors m.dual u)
+              in
+              if not all_neighbors_got_it then
+                m.reliability_failures <- m.reliability_failures + 1
+          | Messages.Recv _ | Messages.Committed _ -> ())
+        outs)
+    record.Trace.outputs;
+  (* 4. progress: a node must be active in every round of the phase. *)
+  for v = 0 to m.n - 1 do
+    if m.active.(v) = None then m.active_all.(v) <- false
+  done;
+  (* 5. acked senders stop being active after this round. *)
+  List.iter (fun u -> m.active.(u) <- None) !acked;
+  m.rounds_observed <- m.rounds_observed + 1;
+  if m.rounds_observed mod m.params.Params.phase_len = 0 then close_phase m
+
+let finish m =
+  if not m.finished then begin
+    m.finished <- true
+    (* A trailing partial phase carries no progress obligations; pending
+       acks are judged against the rounds that actually elapsed. *)
+  end;
+  let missing_ack_count =
+    Hashtbl.fold
+      (fun _ b acc -> if m.rounds_observed - b > m.t_ack then acc + 1 else acc)
+      m.bcast_round 0
+  in
+  {
+    rounds_observed = m.rounds_observed;
+    validity_violations = m.validity_violations;
+    ack_count = m.ack_count;
+    late_ack_count = m.late_ack_count;
+    missing_ack_count;
+    max_ack_latency = m.max_ack_latency;
+    reliability_attempts = m.reliability_attempts;
+    reliability_failures = m.reliability_failures;
+    progress_opportunities = m.progress_opportunities;
+    progress_failures = m.progress_failures;
+    progress_latencies = List.rev m.progress_latencies_rev;
+  }
+
+let check_trace ~dual ~params ~env trace =
+  let m = monitor ~dual ~params ~env in
+  Trace.iter (observe m) trace;
+  finish m

@@ -1,0 +1,64 @@
+(** An abstract MAC layer over LBAlg (paper §1, §5).
+
+    The abstract MAC layer of Kuhn, Lynch and Newport exposes exactly
+    three events per node — [bcast(m)] requests, [ack(m)] confirmations
+    and [recv(m)] deliveries — with a progress bound [f_prog] and an
+    acknowledgement bound [f_ack], hiding all channel details.  LBAlg's
+    interface is already event-shaped, so the adaptation the paper calls
+    "likely straightforward" amounts to this module: it packages an LBAlg
+    network plus an environment that routes the events to application
+    callbacks, enforces the one-outstanding-bcast rule, and reports
+    [f_prog = t_prog] and [f_ack = t_ack].
+
+    Applications written against this interface (e.g. {!Macapps.Flood})
+    run on the dual graph model unchanged — the porting claim of the
+    paper's introduction. *)
+
+type callbacks = {
+  on_recv : node:int -> round:int -> Messages.payload -> unit;
+  on_ack : node:int -> round:int -> Messages.payload -> unit;
+}
+
+val no_callbacks : callbacks
+
+type t
+
+val create :
+  ?callbacks:callbacks ->
+  params:Params.t ->
+  rng:Prng.Rng.t ->
+  dual:Dualgraph.Dual.t ->
+  unit ->
+  t
+(** Builds the LBAlg network underneath.  Callbacks may call {!request}
+    re-entrantly (e.g. relaying from [on_recv]); the new bcast is
+    delivered to the MAC at the next round. *)
+
+val request : t -> node:int -> tag:int -> bool
+(** [request t ~node ~tag] asks the MAC at [node] to broadcast a fresh
+    message (unique uid, the given application [tag]) to its reliable
+    neighborhood.  Returns [false] — and does nothing — if the node still
+    has an unacknowledged bcast outstanding (the abstract MAC layer
+    forbids overlapping requests). *)
+
+val busy : t -> node:int -> bool
+
+val f_prog : t -> int
+(** The progress bound this MAC provides (= t_prog of the LB service). *)
+
+val f_ack : t -> int
+(** The acknowledgement bound (= t_ack). *)
+
+val run :
+  ?observer:
+    ((Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Trace.round_record ->
+    unit) ->
+  ?stop:
+    ((Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Trace.round_record ->
+    bool) ->
+  t ->
+  scheduler:Radiosim.Scheduler.t ->
+  rounds:int ->
+  int
+(** Drive the network for up to [rounds] rounds (callbacks fire as events
+    happen); returns rounds executed.  May only be called once per [t]. *)

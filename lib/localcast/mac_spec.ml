@@ -1,0 +1,124 @@
+module Dual = Dualgraph.Dual
+
+type report = {
+  requests : int;
+  acks : int;
+  recvs : int;
+  unmatched_acks : int;
+  late_acks : int;
+  missing_acks : int;
+  invalid_recvs : int;
+  duplicate_recvs : int;
+  max_ack_latency : int;
+}
+
+let ok r =
+  r.unmatched_acks = 0 && r.late_acks = 0 && r.missing_acks = 0
+  && r.invalid_recvs = 0 && r.duplicate_recvs = 0
+
+type outstanding = { payload : Messages.payload; since : int }
+
+type monitor = {
+  dual : Dual.t;
+  f_ack : int;
+  outstanding : (int, outstanding) Hashtbl.t;  (** per node *)
+  acked_this_round : (int, Messages.payload * int) Hashtbl.t;
+      (** per node: last acked payload and its round — a recv processed
+          after its source's ack within the same engine round is valid *)
+  delivered : (int * Messages.payload, unit) Hashtbl.t;
+  mutable requests : int;
+  mutable acks : int;
+  mutable recvs : int;
+  mutable unmatched_acks : int;
+  mutable late_acks : int;
+  mutable invalid_recvs : int;
+  mutable duplicate_recvs : int;
+  mutable max_ack_latency : int;
+}
+
+let monitor ~dual ~f_ack =
+  {
+    dual;
+    f_ack;
+    outstanding = Hashtbl.create 32;
+    acked_this_round = Hashtbl.create 32;
+    delivered = Hashtbl.create 64;
+    requests = 0;
+    acks = 0;
+    recvs = 0;
+    unmatched_acks = 0;
+    late_acks = 0;
+    invalid_recvs = 0;
+    duplicate_recvs = 0;
+    max_ack_latency = 0;
+  }
+
+let note_request m ~node ~round payload =
+  m.requests <- m.requests + 1;
+  Hashtbl.replace m.outstanding node { payload; since = round }
+
+let note_ack m ~node ~round payload =
+  m.acks <- m.acks + 1;
+  match Hashtbl.find_opt m.outstanding node with
+  | Some { payload = expected; since }
+    when Messages.payload_equal expected payload ->
+      let latency = round - since in
+      if latency > m.max_ack_latency then m.max_ack_latency <- latency;
+      if latency > m.f_ack then m.late_acks <- m.late_acks + 1;
+      Hashtbl.remove m.outstanding node;
+      Hashtbl.replace m.acked_this_round node (payload, round)
+  | _ -> m.unmatched_acks <- m.unmatched_acks + 1
+
+let note_recv m ~node ~round payload =
+  m.recvs <- m.recvs + 1;
+  let src = payload.Messages.src in
+  let source_active =
+    (match Hashtbl.find_opt m.outstanding src with
+    | Some { payload = p; _ } -> Messages.payload_equal p payload
+    | None -> false)
+    ||
+    match Hashtbl.find_opt m.acked_this_round src with
+    | Some (p, ack_round) -> ack_round = round && Messages.payload_equal p payload
+    | None -> false
+  in
+  let valid =
+    src >= 0
+    && src < Dual.n m.dual
+    && src <> node
+    && Array.exists (( = ) src) (Dual.all_neighbors m.dual node)
+    && source_active
+  in
+  if not valid then m.invalid_recvs <- m.invalid_recvs + 1;
+  let key = (node, payload) in
+  if Hashtbl.mem m.delivered key then m.duplicate_recvs <- m.duplicate_recvs + 1
+  else Hashtbl.add m.delivered key ()
+
+let callbacks m ~chain =
+  {
+    Mac.on_recv =
+      (fun ~node ~round payload ->
+        note_recv m ~node ~round payload;
+        chain.Mac.on_recv ~node ~round payload);
+    on_ack =
+      (fun ~node ~round payload ->
+        note_ack m ~node ~round payload;
+        chain.Mac.on_ack ~node ~round payload);
+  }
+
+let finish m ~rounds =
+  let missing_acks =
+    Hashtbl.fold
+      (fun _ { since; _ } acc -> if rounds - since > m.f_ack then acc + 1 else acc)
+      m.outstanding 0
+  in
+  {
+    requests = m.requests;
+    acks = m.acks;
+    recvs = m.recvs;
+    unmatched_acks = m.unmatched_acks;
+    late_acks = m.late_acks;
+    missing_acks;
+    invalid_recvs = m.invalid_recvs;
+    duplicate_recvs = m.duplicate_recvs;
+    max_ack_latency = m.max_ack_latency;
+  }

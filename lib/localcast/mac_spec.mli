@@ -1,0 +1,53 @@
+(** Event-level checker for the abstract MAC layer interface.
+
+    The abstract MAC layer specification (Kuhn–Lynch–Newport; paper §1,
+    §5) is stated purely in terms of the ordering and timing of bcast /
+    ack / recv events.  This monitor observes exactly those events (via
+    {!Mac} callbacks plus the request log) and checks:
+
+    - {e ack pairing}: every ack answers exactly one outstanding request
+      of its node, in FIFO-of-one order (the MAC refuses overlapping
+      requests, so at most one is outstanding);
+    - {e ack timing}: each ack arrives within [f_ack] rounds of its
+      request;
+    - {e receive validity}: a recv at [v] carries a payload whose source
+      currently has that payload outstanding and is a G'-neighbor of [v];
+    - {e receive uniqueness}: no (receiver, payload) pair is delivered
+      twice.
+
+    Together these are the safety face of the abstract MAC layer; the
+    liveness face (progress) is measured by experiments E5/E11 rather
+    than asserted per-event. *)
+
+type report = {
+  requests : int;
+  acks : int;
+  recvs : int;
+  unmatched_acks : int;  (** acks with no outstanding request *)
+  late_acks : int;  (** acks later than f_ack after their request *)
+  missing_acks : int;  (** requests unanswered ≥ f_ack rounds at finish *)
+  invalid_recvs : int;  (** recvs violating neighbor/outstanding validity *)
+  duplicate_recvs : int;
+  max_ack_latency : int;
+}
+
+val ok : report -> bool
+(** No violations of any kind. *)
+
+type monitor
+
+val monitor : dual:Dualgraph.Dual.t -> f_ack:int -> monitor
+
+val note_request : monitor -> node:int -> round:int -> Messages.payload -> unit
+(** Call when {!Mac.request} accepts a request (the round at which the
+    bcast input will be delivered, i.e. the following round). *)
+
+val note_ack : monitor -> node:int -> round:int -> Messages.payload -> unit
+
+val note_recv : monitor -> node:int -> round:int -> Messages.payload -> unit
+
+val callbacks : monitor -> chain:Mac.callbacks -> Mac.callbacks
+(** Wrap application callbacks so MAC events flow through the monitor
+    before reaching the application. *)
+
+val finish : monitor -> rounds:int -> report

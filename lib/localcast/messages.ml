@@ -1,0 +1,41 @@
+type payload = { src : int; uid : int; tag : int }
+
+let payload ?(tag = 0) ~src ~uid () = { src; uid; tag }
+
+let payload_equal a b = a.src = b.src && a.uid = b.uid && a.tag = b.tag
+
+let pp_payload ppf p =
+  if p.tag = 0 then Format.fprintf ppf "m(%d#%d)" p.src p.uid
+  else Format.fprintf ppf "m(%d#%d,tag=%d)" p.src p.uid p.tag
+
+type seed_announcement = { owner : int; seed : Prng.Bitstring.t }
+
+let pp_seed_announcement ppf { owner; seed } =
+  Format.fprintf ppf "seed(owner=%d,<%d bits>)" owner (Prng.Bitstring.length seed)
+
+type msg =
+  | Seed_msg of seed_announcement
+  | Data of payload
+
+let pp_msg ppf = function
+  | Seed_msg s -> pp_seed_announcement ppf s
+  | Data p -> pp_payload ppf p
+
+type seed_output = Decide of seed_announcement
+
+let pp_seed_output ppf (Decide s) =
+  Format.fprintf ppf "decide(%a)" pp_seed_announcement s
+
+type lb_input = Bcast of payload
+
+type lb_output =
+  | Recv of payload
+  | Ack of payload
+  | Committed of seed_announcement
+
+let pp_lb_input ppf (Bcast p) = Format.fprintf ppf "bcast(%a)" pp_payload p
+
+let pp_lb_output ppf = function
+  | Recv p -> Format.fprintf ppf "recv(%a)" pp_payload p
+  | Ack p -> Format.fprintf ppf "ack(%a)" pp_payload p
+  | Committed s -> Format.fprintf ppf "committed(%a)" pp_seed_announcement s

@@ -1,0 +1,172 @@
+type calibration = {
+  c_seed_phase : float;
+  c_tprog : float;
+  c_pu : float;
+  c_tack : float;
+  c_delta : float;
+}
+
+let default_calibration =
+  { c_seed_phase = 4.0; c_tprog = 4.0; c_pu = 0.08; c_tack = 2.0; c_delta = 6.0 }
+
+let log2f x = log x /. log 2.0
+
+(* log₂ of Δ rounded up to a power of two, at least 1 — the paper assumes
+   Δ is a power of 2; we round up so degree bounds stay valid. *)
+let log_delta_of delta =
+  let rec go k = if 1 lsl k >= delta then k else go (k + 1) in
+  max 1 (go 0)
+
+type seed = {
+  seed_eps : float;
+  phases : int;
+  phase_len : int;
+  broadcast_prob : float;
+  kappa : int;
+}
+
+let seed_duration s = s.phases * s.phase_len
+
+let clamp_eps ~upper eps =
+  if eps <= 0.0 then invalid_arg "Params: error bound must be positive";
+  Float.min eps upper
+
+let make_seed ?(calibration = default_calibration) ~eps ~delta ~kappa () =
+  if delta < 1 then invalid_arg "Params.make_seed: delta must be >= 1";
+  if kappa < 1 then invalid_arg "Params.make_seed: kappa must be >= 1";
+  let eps = clamp_eps ~upper:0.25 eps in
+  let log_inv = log2f (1.0 /. eps) in
+  let phases = log_delta_of delta in
+  let phase_len =
+    max 1 (int_of_float (Float.ceil (calibration.c_seed_phase *. log_inv *. log_inv)))
+  in
+  let broadcast_prob = Float.min 0.5 (1.0 /. log_inv) in
+  { seed_eps = eps; phases; phase_len; broadcast_prob; kappa }
+
+type t = {
+  calibration : calibration;
+  delta : int;
+  delta' : int;
+  r : float;
+  eps1 : float;
+  eps2 : float;
+  log_delta : int;
+  seed : seed;
+  ts : int;
+  tprog : int;
+  phase_len : int;
+  tack_phases : int;
+  participant_bits : int;
+  level_bits : int;
+  delta_bound : int;
+  seed_refresh : int;
+}
+
+let make ?(calibration = default_calibration) ?tack_phases ?(seed_refresh = 1) ~delta
+    ~delta' ~r ~eps1 () =
+  if seed_refresh < 1 then invalid_arg "Params.make: seed_refresh must be >= 1";
+  if delta < 1 || delta' < 1 then invalid_arg "Params.make: degree bounds must be >= 1";
+  if delta' < delta then invalid_arg "Params.make: delta' must be >= delta";
+  if r < 1.0 then invalid_arg "Params.make: r must be >= 1";
+  let eps1 = clamp_eps ~upper:0.5 eps1 in
+  (* ε₂: the error budget for each per-phase SeedAlg run; the paper picks
+     it so seed agreement errs with probability at most ε₁/2 (and SeedAlg
+     itself requires ≤ 1/4). *)
+  let eps2 = Float.min 0.25 (eps1 /. 2.0) in
+  let log_delta = log_delta_of delta in
+  let log_inv2 = log2f (1.0 /. eps2) in
+  let log_inv1 = log2f (1.0 /. eps1) in
+  let contention = Float.max 2.0 (r *. r *. log_inv2) in
+  let participant_bits =
+    max 1 (int_of_float (Float.ceil (log2f contention)))
+  in
+  let level_bits =
+    if log_delta <= 1 then 0
+    else max 1 (int_of_float (Float.ceil (log2f (float_of_int log_delta))))
+  in
+  let tprog =
+    max 1
+      (int_of_float
+         (Float.ceil
+            (calibration.c_tprog *. r *. r *. log_inv1 *. log_inv2
+            *. float_of_int log_delta)))
+  in
+  (* κ must cover every body round of a whole refresh cycle: the refresh
+     phase contributes Tprog body rounds, and each of the seed_refresh - 1
+     preamble-free phases contributes Ts + Tprog.  Ts depends only on ε₂
+     and Δ, so it can be computed before κ. *)
+  let bits_per_round = participant_bits + level_bits in
+  let ts =
+    seed_duration (make_seed ~calibration ~eps:eps2 ~delta ~kappa:1 ())
+  in
+  let body_rounds_per_cycle = tprog + ((seed_refresh - 1) * (ts + tprog)) in
+  let kappa = max 1 (body_rounds_per_cycle * bits_per_round) in
+  let seed = make_seed ~calibration ~eps:eps2 ~delta ~kappa () in
+  let phase_len = ts + tprog in
+  let tack_phases =
+    match tack_phases with
+    | Some q ->
+        if q < 1 then invalid_arg "Params.make: tack_phases must be >= 1";
+        q
+    | None ->
+        (* Lemma C.3: a body round is useful w.p. ≥ 1 - ε₁/2; v needs
+           k = ln(2Δ/ε₁)/p useful rounds where p = p_u/Δ' bounds p_{u,v};
+           the phase count q = c_tack·k / (Tprog (1 - ε₁/2)). *)
+        let p_u =
+          calibration.c_pu /. (r *. r *. log_inv2 *. float_of_int log_delta)
+        in
+        let p_uv = p_u /. float_of_int delta' in
+        let k = log (2.0 *. float_of_int delta /. eps1) /. p_uv in
+        max 1
+          (int_of_float
+             (Float.ceil
+                (calibration.c_tack *. k
+                /. (float_of_int tprog *. (1.0 -. (eps1 /. 2.0))))))
+  in
+  let delta_bound =
+    max 1 (int_of_float (Float.ceil (calibration.c_delta *. r *. r *. log_inv2)))
+  in
+  {
+    calibration;
+    delta;
+    delta';
+    r;
+    eps1;
+    eps2;
+    log_delta;
+    seed;
+    ts;
+    tprog;
+    phase_len;
+    tack_phases;
+    participant_bits;
+    level_bits;
+    delta_bound;
+    seed_refresh;
+  }
+
+let of_dual ?calibration ?tack_phases ?seed_refresh ~eps1 dual =
+  make ?calibration ?tack_phases ?seed_refresh
+    ~delta:(Dualgraph.Dual.delta dual)
+    ~delta':(Dualgraph.Dual.delta' dual)
+    ~r:(Dualgraph.Dual.r dual)
+    ~eps1 ()
+
+let t_prog_rounds t = t.phase_len
+
+let t_ack_rounds t = (t.tack_phases + 1) * t.phase_len
+
+let pp_seed ppf s =
+  Format.fprintf ppf
+    "@[seed: eps=%.4f phases=%d phase_len=%d Ts=%d bcast_p=%.3f kappa=%d@]"
+    s.seed_eps s.phases s.phase_len (seed_duration s) s.broadcast_prob s.kappa
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>lb params: Δ=%d Δ'=%d r=%.2f ε₁=%.4f ε₂=%.4f logΔ=%d@,\
+     %a@,\
+     Tprog=%d phase_len=%d Tack=%d phases d=%d level_bits=%d δ=%d@,\
+     t_prog=%d t_ack=%d@]"
+    t.delta t.delta' t.r t.eps1 t.eps2 t.log_delta pp_seed t.seed t.tprog
+    t.phase_len t.tack_phases t.participant_bits t.level_bits t.delta_bound
+    (t_prog_rounds t) (t_ack_rounds t)

@@ -1,0 +1,120 @@
+(** Parameter derivation and calibration (paper §3.2, §4.2, App. C.1).
+
+    Every quantity the algorithms need is derived here from the four
+    model-level inputs the paper allows a process to know: the degree
+    bounds Δ and Δ', the geographic parameter r, and the caller's error
+    budget ε₁.  Nothing depends on n — the point of the paper.
+
+    The paper's proofs pick leading constants (c₁ … c₆, the
+    [c₄ ≥ 2·4^{c_r c₃}] phase length, the factor-12 Chernoff slack in
+    T_ack) large enough to make union bounds go through; plugged in
+    literally they give phase lengths beyond any simulator's reach.  We
+    keep the paper's algebraic {e forms} and expose the leading constants
+    as a {!calibration} record whose defaults were tuned empirically (see
+    EXPERIMENTS.md, experiments E3/E5/E6): the measured error stays below
+    ε on the benchmark topologies while runs stay tractable.  Users who
+    want the proof-grade constants can pass their own calibration. *)
+
+type calibration = {
+  c_seed_phase : float;
+      (** c₄: SeedAlg phase length multiplier (rounds =
+          [c_seed_phase · log₂²(1/ε)]).  Default 4. *)
+  c_tprog : float;
+      (** c₁: body length multiplier
+          ([Tprog = c_tprog · r² · log(1/ε₁) · log(1/ε₂) · log Δ]).
+          Default 4. *)
+  c_pu : float;
+      (** c₂: the per-round reception constant in Lemma C.1's
+          [p_u ≥ c₂ / (r² log(1/ε₂) log Δ)].  Default 0.08 (measured;
+          see E7). *)
+  c_tack : float;
+      (** Chernoff slack on the useful-round count in Lemma C.3 (the
+          paper's factor 12).  Default 2. *)
+  c_delta : float;
+      (** Leading constant of the seed partition bound
+          [δ = c_delta · r² · log₂(1/ε₂)] (the paper's 6·c_r·c₃).
+          Default 6. *)
+}
+
+val default_calibration : calibration
+
+(** {1 Seed agreement parameters} *)
+
+type seed = {
+  seed_eps : float;  (** the ε₁ handed to SeedAlg (≤ 1/4) *)
+  phases : int;  (** log₂ Δ (Δ rounded up to a power of two), ≥ 1 *)
+  phase_len : int;  (** c₄ · log₂²(1/ε) rounds *)
+  broadcast_prob : float;  (** leaders transmit w.p. 1/log₂(1/ε) per round *)
+  kappa : int;  (** seed length in bits; domain S = {0,1}^κ *)
+}
+
+val seed_duration : seed -> int
+(** Total SeedAlg running time Ts = phases · phase_len. *)
+
+val make_seed :
+  ?calibration:calibration -> eps:float -> delta:int -> kappa:int -> unit -> seed
+(** Standalone seed agreement parameters.  [eps] is clamped into
+    (0, 1/4]; [delta] must be ≥ 1; [kappa] ≥ 1. *)
+
+(** {1 Local broadcast parameters} *)
+
+type t = {
+  calibration : calibration;
+  delta : int;  (** Δ as supplied *)
+  delta' : int;  (** Δ' as supplied *)
+  r : float;
+  eps1 : float;  (** the LB error bound *)
+  eps2 : float;  (** error handed to the per-phase SeedAlg runs, ≤ ε₁/2 *)
+  log_delta : int;  (** log₂ Δ (power-of-two rounded), ≥ 1 *)
+  seed : seed;  (** preamble parameters (SeedAlg(ε₂)) *)
+  ts : int;  (** preamble length Ts *)
+  tprog : int;  (** body length Tprog *)
+  phase_len : int;  (** Ts + Tprog *)
+  tack_phases : int;  (** Tack: full phases spent in sending state *)
+  participant_bits : int;
+      (** d = ⌈log₂(r² log₂(1/ε₂))⌉ bits per body round; participant w.p.
+          2^-d ∈ [1/(2 r² log(1/ε₂)), 1/(r² log(1/ε₂))] — the paper's
+          [a / (r² log(1/ε₂))] with a ∈ \[1, 2) *)
+  level_bits : int;
+      (** shared bits selecting the probability level b ∈ [log Δ] *)
+  delta_bound : int;  (** δ checked by the Seed spec: c_delta · r² · log(1/ε₂) *)
+  seed_refresh : int;
+      (** run the SeedAlg preamble every [seed_refresh]-th phase (§4.2's
+          closing remark; 1 = every phase, the paper's base algorithm).
+          Phases without a preamble use their full Ts + Tprog rounds as
+          body rounds; κ is sized for the whole refresh cycle. *)
+}
+
+val make :
+  ?calibration:calibration ->
+  ?tack_phases:int ->
+  ?seed_refresh:int ->
+  delta:int ->
+  delta':int ->
+  r:float ->
+  eps1:float ->
+  unit ->
+  t
+(** Derive all LBAlg parameters.  [eps1] is clamped into (0, 1/2];
+    [delta, delta' >= 1]; [r >= 1].  [tack_phases] overrides the derived
+    Tack (useful to shorten progress-only experiments); [seed_refresh]
+    (default 1) enables the multi-phase-seed variant. *)
+
+val of_dual :
+  ?calibration:calibration ->
+  ?tack_phases:int ->
+  ?seed_refresh:int ->
+  eps1:float ->
+  Dualgraph.Dual.t ->
+  t
+(** [make] with Δ, Δ', r read off a topology. *)
+
+val t_prog_rounds : t -> int
+(** The spec's t_prog = Ts + Tprog. *)
+
+val t_ack_rounds : t -> int
+(** The spec's t_ack = (Tack + 1) · (Ts + Tprog). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_seed : Format.formatter -> seed -> unit

@@ -1,0 +1,22 @@
+let duration = Params.seed_duration
+
+let node params ~id ~rng =
+  let core = Seed_core.create params ~id ~rng in
+  let total = Seed_core.duration core in
+  let decide ~round _inputs =
+    if round < total then Seed_core.decide_action core ~local_round:round
+    else Radiosim.Process.Listen
+  in
+  let absorb ~round received =
+    if round < total then begin
+      Seed_core.absorb core ~local_round:round received;
+      if round = total - 1 then Seed_core.finalize core
+    end;
+    match Seed_core.take_event core with
+    | Some announcement -> [ Messages.Decide announcement ]
+    | None -> []
+  in
+  { Radiosim.Process.decide; absorb }
+
+let network params ~rng ~n =
+  Array.init n (fun id -> node params ~id ~rng:(Prng.Rng.split rng))

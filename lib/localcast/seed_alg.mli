@@ -1,0 +1,23 @@
+(** SeedAlg as a standalone simulator process (paper §3).
+
+    Wraps {!Seed_core} into a {!Radiosim.Process.node} that starts at
+    round 0, emits one [Decide (j, s)] output, and stays silent after the
+    algorithm's [Params.seed_duration] rounds.  Use {!network} to
+    instantiate one node per vertex with independent split RNGs. *)
+
+val node :
+  Params.seed ->
+  id:int ->
+  rng:Prng.Rng.t ->
+  (Messages.msg, unit, Messages.seed_output) Radiosim.Process.node
+
+val network :
+  Params.seed ->
+  rng:Prng.Rng.t ->
+  n:int ->
+  (Messages.msg, unit, Messages.seed_output) Radiosim.Process.node array
+(** [network params ~rng ~n] builds [n] nodes with ids [0..n-1], each with
+    its own generator split off [rng]. *)
+
+val duration : Params.seed -> int
+(** Rounds to run the engine for a complete execution. *)

@@ -1,0 +1,107 @@
+module Region = Dualgraph.Region
+
+type snapshot = {
+  phase : int;
+  election_prob : float;
+  active_per_region : int array;
+  leaders_per_region : int array;
+}
+
+let cumulative_probability s x =
+  float_of_int s.active_per_region.(x) *. s.election_prob
+
+let is_good ~eps ~c2 s x =
+  cumulative_probability s x <= c2 *. (log (1.0 /. eps) /. log 2.0)
+
+type t = {
+  params : Params.seed;
+  regions : Region.t;
+  cores : Seed_core.t array;
+  mutable nodes :
+    (Messages.msg, unit, Messages.seed_output) Radiosim.Process.node array;
+  mutable snapshots_rev : snapshot list;
+}
+
+let count_per_region regions cores predicate =
+  let counts = Array.make (Region.region_count regions) 0 in
+  Array.iteri
+    (fun v core ->
+      if predicate core then begin
+        let x = Region.region_of_vertex regions v in
+        counts.(x) <- counts.(x) + 1
+      end)
+    cores;
+  counts
+
+let phase_of (params : Params.seed) local_round =
+  (local_round / params.Params.phase_len) + 1
+
+(* Sampling protocol, exploiting the engine's fixed node iteration order:
+   node 0's [decide] runs before any election of the round, so it samples
+   the phase-start active counts; node 0's [absorb] runs after the whole
+   transmit/receive step, so on the first round of a phase every election
+   has been resolved and the leader counts are exact. *)
+let create (params : Params.seed) ~dual ~rng =
+  let regions = Region.of_dual dual in
+  let n = Dualgraph.Dual.n dual in
+  let cores =
+    Array.init n (fun id -> Seed_core.create params ~id ~rng:(Prng.Rng.split rng))
+  in
+  let t = { params; regions; cores; nodes = [||]; snapshots_rev = [] } in
+  let total = Params.seed_duration params in
+  let pending_active = ref [||] in
+  let node id =
+    let core = cores.(id) in
+    let decide ~round _inputs =
+      if round >= total then Radiosim.Process.Listen
+      else begin
+        if id = 0 && round mod params.Params.phase_len = 0 then
+          pending_active :=
+            count_per_region regions cores (fun c ->
+                Seed_core.status c = Seed_core.Active);
+        Seed_core.decide_action core ~local_round:round
+      end
+    in
+    let absorb ~round received =
+      if round < total then begin
+        Seed_core.absorb core ~local_round:round received;
+        if round = total - 1 then Seed_core.finalize core;
+        if id = 0 && round mod params.Params.phase_len = 0 then begin
+          let h = phase_of params round in
+          let leaders =
+            count_per_region regions cores (fun c ->
+                match Seed_core.status c with
+                | Seed_core.Leader h' -> h' = h
+                | Seed_core.Active | Seed_core.Inactive -> false)
+          in
+          t.snapshots_rev <-
+            {
+              phase = h;
+              election_prob =
+                1.0 /. float_of_int (1 lsl (params.Params.phases - h + 1));
+              active_per_region = !pending_active;
+              leaders_per_region = leaders;
+            }
+            :: t.snapshots_rev
+        end
+      end;
+      match Seed_core.take_event core with
+      | Some announcement -> [ Messages.Decide announcement ]
+      | None -> []
+    in
+    { Radiosim.Process.decide; absorb }
+  in
+  t.nodes <- Array.init n node;
+  t
+
+let nodes t = t.nodes
+let regions t = t.regions
+let snapshots t = List.rev t.snapshots_rev
+
+let total_leaders_per_region t =
+  let totals = Array.make (Region.region_count t.regions) 0 in
+  List.iter
+    (fun s ->
+      Array.iteri (fun x l -> totals.(x) <- totals.(x) + l) s.leaders_per_region)
+    (snapshots t);
+  totals

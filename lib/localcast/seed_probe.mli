@@ -1,0 +1,44 @@
+(** Region-level instrumentation of SeedAlg executions (Appendix B).
+
+    The paper's analysis of SeedAlg lives on the half-unit region
+    partition of Appendix A.1: for region [x] and phase [h] it tracks the
+    active count [a_{x,h}], the cumulative leader-election probability
+    [P_{x,h} = a_{x,h} · p_h], calls the region {e good} when
+    [P_{x,h} <= c₂ log(1/ε)], and bounds the leaders elected per region
+    per phase (Lemmas B.2, B.6, B.8).  This probe records exactly those
+    quantities from a live execution so experiments (E12) and tests can
+    check the lemmas' empirical shape.
+
+    Usage: build the probed network, run the engine for
+    [Seed_alg.duration] rounds, then read {!snapshots}. *)
+
+type snapshot = {
+  phase : int;  (** 1-based phase number h *)
+  election_prob : float;  (** p_h = 2^{-(phases - h + 1)} *)
+  active_per_region : int array;  (** a_{x,h}, sampled at phase start *)
+  leaders_per_region : int array;  (** l_{x,h}, after the election step *)
+}
+
+val cumulative_probability : snapshot -> int -> float
+(** [cumulative_probability s x] is [P_{x,h} = a_{x,h} · p_h]. *)
+
+val is_good : eps:float -> c2:float -> snapshot -> int -> bool
+(** The paper's goodness predicate: [P_{x,h} <= c2 · log₂(1/eps)]. *)
+
+type t
+
+val create : Params.seed -> dual:Dualgraph.Dual.t -> rng:Prng.Rng.t -> t
+(** Raises [Invalid_argument] if the dual graph has no embedding (the
+    region partition needs one). *)
+
+val nodes :
+  t -> (Messages.msg, unit, Messages.seed_output) Radiosim.Process.node array
+
+val regions : t -> Dualgraph.Region.t
+
+val snapshots : t -> snapshot list
+(** One snapshot per phase, in phase order.  Complete only after the
+    engine has run all [Params.seed_duration] rounds. *)
+
+val total_leaders_per_region : t -> int array
+(** Σ_h l_{x,h} for each region — the quantity Lemma B.4 bounds. *)

@@ -1,0 +1,93 @@
+module Dual = Dualgraph.Dual
+
+type report = {
+  well_formed : bool;
+  consistent : bool;
+  owners_per_vertex : int array;
+  agreement_ok : bool array;
+  max_owners : int;
+  violation_count : int;
+}
+
+let decisions_of_trace trace ~n =
+  let decisions = Array.make n [] in
+  Radiosim.Trace.iter
+    (fun record ->
+      Array.iteri
+        (fun v outs ->
+          List.iter
+            (fun (Messages.Decide announcement) ->
+              decisions.(v) <- (record.Radiosim.Trace.round, announcement) :: decisions.(v))
+            outs)
+        record.Radiosim.Trace.outputs)
+    trace;
+  Array.map List.rev decisions
+
+let check ~dual ~delta_bound ~decisions =
+  let n = Dual.n dual in
+  if Array.length decisions <> n then
+    invalid_arg "Seed_spec.check: decisions array size mismatch";
+  let well_formed = Array.for_all (fun l -> List.length l = 1) decisions in
+  (* Consistency: one seed per owner across the whole execution. *)
+  let owner_seed : (int, Prng.Bitstring.t) Hashtbl.t = Hashtbl.create 64 in
+  let consistent = ref true in
+  Array.iter
+    (List.iter (fun (_, { Messages.owner; seed }) ->
+         match Hashtbl.find_opt owner_seed owner with
+         | None -> Hashtbl.add owner_seed owner seed
+         | Some existing ->
+             if not (Prng.Bitstring.equal existing seed) then consistent := false))
+    decisions;
+  (* Agreement: distinct owners per closed G'-neighborhood. *)
+  let owners_per_vertex =
+    Array.init n (fun u ->
+        let seen = Hashtbl.create 8 in
+        let absorb v =
+          List.iter
+            (fun (_, { Messages.owner; _ }) -> Hashtbl.replace seen owner ())
+            decisions.(v)
+        in
+        absorb u;
+        Array.iter absorb (Dual.all_neighbors dual u);
+        Hashtbl.length seen)
+  in
+  let agreement_ok = Array.map (fun k -> k <= delta_bound) owners_per_vertex in
+  let max_owners = Array.fold_left max 0 owners_per_vertex in
+  let violation_count =
+    Array.fold_left (fun acc ok -> if ok then acc else acc + 1) 0 agreement_ok
+  in
+  {
+    well_formed;
+    consistent = !consistent;
+    owners_per_vertex;
+    agreement_ok;
+    max_owners;
+    violation_count;
+  }
+
+let owners ~decisions =
+  Array.map
+    (function
+      | [ (_, { Messages.owner; _ }) ] -> owner
+      | _ -> invalid_arg "Seed_spec.owners: execution is not well-formed")
+    decisions
+
+let bit_balance announcements =
+  let total = ref 0 and set = ref 0 in
+  List.iter
+    (fun { Messages.seed; _ } ->
+      total := !total + Prng.Bitstring.length seed;
+      set := !set + Prng.Bitstring.ones seed)
+    announcements;
+  if !total = 0 then 0.5 else float_of_int !set /. float_of_int !total
+
+let cross_agreement a b =
+  let len = min (Prng.Bitstring.length a) (Prng.Bitstring.length b) in
+  if len = 0 then 0.5
+  else begin
+    let agree = ref 0 in
+    for i = 0 to len - 1 do
+      if Prng.Bitstring.get a i = Prng.Bitstring.get b i then incr agree
+    done;
+    float_of_int !agree /. float_of_int len
+  end

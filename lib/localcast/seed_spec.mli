@@ -1,0 +1,51 @@
+(** Checker for the Seed(δ, ε) specification (paper §3.1).
+
+    Conditions 1–3 are checked directly on an execution:
+
+    + {e Well-formedness}: exactly one [decide(*, *)_u] per vertex;
+    + {e Consistency}: equal owners imply equal seeds;
+    + {e Agreement}: for each vertex [u], the number of distinct owners
+      appearing in decisions across [N_{G'}(u) ∪ {u}] is at most δ.  The
+      spec demands this per-vertex with probability ≥ 1 − ε; the checker
+      reports the per-vertex outcome so callers can estimate that
+      probability across trials.
+
+    Condition 4 ({e Independence}) is statistical; {!bit_balance} and
+    {!cross_agreement} provide the estimators the property tests and
+    experiment E4 use (Lemmas B.17/B.18: each committed seed bit is a fair
+    coin, and seeds of distinct owners are independent). *)
+
+type report = {
+  well_formed : bool;
+  consistent : bool;
+  owners_per_vertex : int array;
+      (** distinct decided owners in each closed G'-neighborhood *)
+  agreement_ok : bool array;  (** per-vertex [owners_per_vertex.(u) <= δ] *)
+  max_owners : int;
+  violation_count : int;  (** number of vertices with [agreement_ok = false] *)
+}
+
+val decisions_of_trace :
+  (Messages.msg, unit, Messages.seed_output) Radiosim.Trace.t ->
+  n:int ->
+  (int * Messages.seed_announcement) list array
+(** Per-vertex [(round, decide)] events extracted from a standalone
+    SeedAlg trace. *)
+
+val check :
+  dual:Dualgraph.Dual.t ->
+  delta_bound:int ->
+  decisions:(int * Messages.seed_announcement) list array ->
+  report
+
+val owners : decisions:(int * Messages.seed_announcement) list array -> int array
+(** The owner each vertex committed to (requires well-formedness; raises
+    [Invalid_argument] otherwise). *)
+
+val bit_balance : Messages.seed_announcement list -> float
+(** Fraction of 1-bits across the given announcements' seeds — should
+    concentrate around 1/2 (Lemma B.17). *)
+
+val cross_agreement : Prng.Bitstring.t -> Prng.Bitstring.t -> float
+(** Fraction of positions on which two equal-length seeds agree — should
+    concentrate around 1/2 for seeds of distinct owners (Lemma B.18). *)

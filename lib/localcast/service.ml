@@ -1,0 +1,100 @@
+module Dual = Dualgraph.Dual
+module Sch = Radiosim.Scheduler
+module Engine = Radiosim.Engine
+module Trace = Radiosim.Trace
+
+type outcome = {
+  report : Lb_spec.report;
+  env_log : Lb_env.entry list;
+  rounds_executed : int;
+}
+
+let default_scheduler ~seed = Sch.bernoulli ~seed ~p:0.5
+
+let finish ~monitor ~envt ~rounds_executed =
+  {
+    report = Lb_spec.finish monitor;
+    env_log = Lb_env.log envt;
+    rounds_executed;
+  }
+
+let run ?scheduler ?seed_source ?observer ~dual ~params ~senders ~phases ~seed () =
+  let scheduler =
+    match scheduler with Some s -> s | None -> default_scheduler ~seed
+  in
+  let n = Dual.n dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = Lb_alg.network ?seed_source params ~rng ~n in
+  let envt = Lb_env.saturate ~n ~senders () in
+  let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let observe record =
+    Lb_spec.observe monitor record;
+    match observer with Some f -> f record | None -> ()
+  in
+  let rounds_executed =
+    Engine.run ~observer:observe ~dual ~scheduler ~nodes ~env:(Lb_env.env envt)
+      ~rounds:(phases * params.Params.phase_len)
+      ()
+  in
+  finish ~monitor ~envt ~rounds_executed
+
+let one_shot ?scheduler ~dual ~params ~sender ~seed () =
+  let scheduler =
+    match scheduler with Some s -> s | None -> default_scheduler ~seed
+  in
+  let n = Dual.n dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = Lb_alg.network params ~rng ~n in
+  let envt = Lb_env.one_shot ~n ~bcasts:[ (sender, 0) ] in
+  let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let rounds_executed =
+    Engine.run ~observer:(Lb_spec.observe monitor) ~dual ~scheduler ~nodes
+      ~env:(Lb_env.env envt)
+      ~rounds:(Params.t_ack_rounds params)
+      ()
+  in
+  let outcome = finish ~monitor ~envt ~rounds_executed in
+  let completion =
+    match outcome.env_log with
+    | [ entry ] ->
+        let neighbors = Dual.reliable_neighbors dual sender in
+        let last = ref 0 and all = ref true in
+        Array.iter
+          (fun v ->
+            let first_recv =
+              List.filter_map
+                (fun (u, round) -> if u = v then Some round else None)
+                entry.Lb_env.recv_rounds
+              |> List.fold_left min max_int
+            in
+            if first_recv = max_int then all := false
+            else if first_recv > !last then last := first_recv)
+          neighbors;
+        if !all then Some !last else None
+    | _ -> None
+  in
+  (outcome, completion)
+
+let first_reception ?scheduler ?seed_source ~dual ~params ~receiver ~max_rounds
+    ~seed () =
+  let scheduler =
+    match scheduler with Some s -> s | None -> default_scheduler ~seed
+  in
+  let n = Dual.n dual in
+  let rng = Prng.Rng.of_int seed in
+  let nodes = Lb_alg.network ?seed_source params ~rng ~n in
+  let senders = List.filter (fun v -> v <> receiver) (List.init n Fun.id) in
+  let envt = Lb_env.saturate ~n ~senders () in
+  let result = ref None in
+  let stop record =
+    match record.Trace.delivered.(receiver) with
+    | Some (Messages.Data _) ->
+        if !result = None then result := Some record.Trace.round;
+        true
+    | _ -> false
+  in
+  let (_ : int) =
+    Engine.run ~stop ~dual ~scheduler ~nodes ~env:(Lb_env.env envt)
+      ~rounds:max_rounds ()
+  in
+  !result

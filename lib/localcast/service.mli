@@ -1,0 +1,60 @@
+(** One-call runners for the local broadcast service.
+
+    Most users want to answer one of three questions about a topology:
+    does the service meet its spec here, how long until a receiver first
+    hears something, and does a one-shot broadcast reach the whole
+    neighborhood in time?  These functions package the full pipeline —
+    network construction, environment, engine, spec monitor — behind a
+    single deterministic call (same arguments ⟹ same numbers).  The
+    experiment harness in [bench/] is built from exactly these. *)
+
+type outcome = {
+  report : Lb_spec.report;
+  env_log : Lb_env.entry list;
+  rounds_executed : int;
+}
+
+val run :
+  ?scheduler:Radiosim.Scheduler.t ->
+  ?seed_source:Lb_alg.seed_source ->
+  ?observer:
+    ((Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Trace.round_record ->
+    unit) ->
+  dual:Dualgraph.Dual.t ->
+  params:Params.t ->
+  senders:int list ->
+  phases:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** Saturates the given senders for [phases] service phases under the
+    scheduler (default Bernoulli(1/2) derived from [seed]) and returns
+    the spec monitor's verdicts.  [observer] additionally sees every
+    round record. *)
+
+val one_shot :
+  ?scheduler:Radiosim.Scheduler.t ->
+  dual:Dualgraph.Dual.t ->
+  params:Params.t ->
+  sender:int ->
+  seed:int ->
+  unit ->
+  outcome * int option
+(** A single [bcast] at round 0, run for the full derived
+    acknowledgement window [t_ack].  The second component is the round by
+    which the {e last} reliable neighbor had received the message, if all
+    of them did. *)
+
+val first_reception :
+  ?scheduler:Radiosim.Scheduler.t ->
+  ?seed_source:Lb_alg.seed_source ->
+  dual:Dualgraph.Dual.t ->
+  params:Params.t ->
+  receiver:int ->
+  max_rounds:int ->
+  seed:int ->
+  unit ->
+  int option
+(** All nodes except [receiver] saturate; returns the 0-based round of
+    the receiver's first clean data reception, or [None] if it starves
+    for [max_rounds]. *)

@@ -1,0 +1,76 @@
+module Mac = Localcast.Mac
+module M = Localcast.Messages
+module Dual = Dualgraph.Dual
+
+let value_base = 1024
+
+type result = {
+  decisions : int array;
+  agreement : bool;
+  valid : bool;
+  converged : bool;
+  rounds_executed : int;
+}
+
+let run ~params ~rng ~dual ~scheduler ~inputs ~max_rounds () =
+  let n = Dual.n dual in
+  if Array.length inputs <> n then
+    invalid_arg "Consensus.run: inputs length mismatch";
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= value_base then
+        invalid_arg "Consensus.run: input outside [0, value_base)")
+    inputs;
+  (* Per node: current belief (best id and its value) plus a dirty flag
+     meaning the latest belief still has to go out through the MAC. *)
+  let best_id = Array.init n Fun.id in
+  let best_value = Array.copy inputs in
+  let dirty = Array.make n true in
+  let mac = ref None in
+  let try_send node =
+    match !mac with
+    | Some mac when dirty.(node) ->
+        let tag = (best_id.(node) * value_base) + best_value.(node) in
+        if Mac.request mac ~node ~tag then dirty.(node) <- false
+    | _ -> ()
+  in
+  let callbacks =
+    {
+      Mac.on_recv =
+        (fun ~node ~round:_ payload ->
+          let id = payload.M.tag / value_base in
+          let value = payload.M.tag mod value_base in
+          if id > best_id.(node) then begin
+            best_id.(node) <- id;
+            best_value.(node) <- value;
+            dirty.(node) <- true;
+            try_send node
+          end);
+      on_ack =
+        (fun ~node ~round:_ _ ->
+          (* The endpoint is free again; push any newer belief. *)
+          try_send node);
+    }
+  in
+  let m = Mac.create ~callbacks ~params ~rng ~dual () in
+  mac := Some m;
+  for v = 0 to n - 1 do
+    try_send v
+  done;
+  (* Quiescent once every node holds the globally best belief and has no
+     update left to publish.  (Outstanding rebroadcasts of the winning
+     belief cannot change any state, so it is safe to stop then.) *)
+  let target = n - 1 in
+  let stop _ =
+    let settled = ref true in
+    for v = 0 to n - 1 do
+      if best_id.(v) <> target || dirty.(v) then settled := false
+    done;
+    !settled
+  in
+  let rounds_executed = Mac.run ~stop m ~scheduler ~rounds:max_rounds in
+  let decisions = Array.copy best_value in
+  let agreement = Array.for_all (fun v -> v = decisions.(0)) decisions in
+  let valid = agreement && n > 0 && decisions.(0) = inputs.(target) in
+  let converged = Array.for_all (fun id -> id = target) best_id in
+  { decisions; agreement; valid; converged; rounds_executed }

@@ -1,0 +1,35 @@
+(** Flood-max consensus over the abstract MAC layer.
+
+    A miniature of Newport's "Consensus with an abstract MAC layer"
+    (the paper's reference [20]): every node starts with an input value,
+    repeatedly floods the best (highest-id, value) pair it knows, and
+    decides that pair's value once the network is quiescent.  On a
+    connected reliable graph the belief of the maximum-id node sweeps the
+    network in O(D) acknowledged hops, giving agreement and validity
+    without any node knowing n or D.
+
+    Beliefs travel in the payload tag as [id * value_base + value];
+    inputs must lie in [\[0, value_base)]. *)
+
+val value_base : int
+(** Upper bound (exclusive) on input values: 1024. *)
+
+type result = {
+  decisions : int array;  (** per node, the decided value *)
+  agreement : bool;  (** all decisions equal *)
+  valid : bool;  (** the common decision is the max-id node's input *)
+  converged : bool;  (** quiescence reached before [max_rounds] *)
+  rounds_executed : int;
+}
+
+val run :
+  params:Localcast.Params.t ->
+  rng:Prng.Rng.t ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Radiosim.Scheduler.t ->
+  inputs:int array ->
+  max_rounds:int ->
+  unit ->
+  result
+(** Raises [Invalid_argument] on an input outside [\[0, value_base)] or
+    an input array of the wrong length. *)

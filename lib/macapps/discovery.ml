@@ -1,0 +1,72 @@
+module Mac = Localcast.Mac
+module M = Localcast.Messages
+module Dual = Dualgraph.Dual
+module Graph = Dualgraph.Graph
+
+type result = {
+  discovered : int list array;
+  complete : bool;
+  completion_round : int option;
+  missing_pairs : int;
+  spurious_pairs : int;
+  rounds_executed : int;
+}
+
+let hello_tag = 1
+
+let run ~params ~rng ~dual ~scheduler ~max_rounds () =
+  let n = Dual.n dual in
+  let heard = Array.init n (fun _ -> Hashtbl.create 8) in
+  (* Completion = every reliable (u, v) pair established in both
+     directions; track how many are still missing. *)
+  let missing = ref 0 in
+  for u = 0 to n - 1 do
+    missing := !missing + Array.length (Dual.reliable_neighbors dual u)
+  done;
+  let completion_round = ref None in
+  let callbacks =
+    {
+      Mac.on_recv =
+        (fun ~node ~round payload ->
+          if payload.M.tag = hello_tag then begin
+            let src = payload.M.src in
+            if not (Hashtbl.mem heard.(node) src) then begin
+              Hashtbl.add heard.(node) src ();
+              if Graph.mem_edge (Dual.g dual) node src then begin
+                decr missing;
+                if !missing = 0 && !completion_round = None then
+                  completion_round := Some round
+              end
+            end
+          end);
+      on_ack = (fun ~node:_ ~round:_ _ -> ());
+    }
+  in
+  let mac = Mac.create ~callbacks ~params ~rng ~dual () in
+  for v = 0 to n - 1 do
+    let (_ : bool) = Mac.request mac ~node:v ~tag:hello_tag in
+    ()
+  done;
+  let stop _ = !missing = 0 in
+  let rounds_executed = Mac.run ~stop mac ~scheduler ~rounds:max_rounds in
+  let discovered =
+    Array.map
+      (fun tbl -> Hashtbl.fold (fun src () acc -> src :: acc) tbl [] |> List.sort Int.compare)
+      heard
+  in
+  let spurious_pairs = ref 0 in
+  Array.iteri
+    (fun v srcs ->
+      List.iter
+        (fun src ->
+          if not (Graph.mem_edge (Dual.g' dual) v src) then incr spurious_pairs)
+        srcs)
+    discovered;
+  {
+    discovered;
+    complete = !missing = 0;
+    completion_round = !completion_round;
+    missing_pairs = !missing;
+    spurious_pairs = !spurious_pairs;
+    rounds_executed;
+  }

@@ -1,0 +1,30 @@
+(** Neighbor discovery over the abstract MAC layer.
+
+    The problem of the paper's references [5, 6] (Cornejo–Lynch–Viqar–
+    Welch): every node announces itself once; each node must learn its
+    reliable neighborhood.  The MAC's reliability guarantee does all the
+    work — one acknowledged hello per node suffices for every reliable
+    neighbor to hear it — while validity caps what can be discovered at
+    the G'-neighborhood (grey-zone nodes may or may not be heard). *)
+
+type result = {
+  discovered : int list array;  (** per node, sorted ids heard from *)
+  complete : bool;
+      (** every node discovered its full reliable neighborhood *)
+  completion_round : int option;
+  missing_pairs : int;
+      (** reliable (u, v) pairs where v never heard u *)
+  spurious_pairs : int;
+      (** discovered pairs outside the G'-neighborhood (must be 0 —
+          follows from the LB validity property) *)
+  rounds_executed : int;
+}
+
+val run :
+  params:Localcast.Params.t ->
+  rng:Prng.Rng.t ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Radiosim.Scheduler.t ->
+  max_rounds:int ->
+  unit ->
+  result

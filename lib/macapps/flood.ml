@@ -1,0 +1,62 @@
+module Mac = Localcast.Mac
+
+type result = {
+  covered : bool array;
+  covered_count : int;
+  completion_round : int option;
+  relays : int;
+  rounds_executed : int;
+}
+
+let run ~params ~rng ~dual ~scheduler ~source ~max_rounds ?(flood_tag = 1) () =
+  let n = Dualgraph.Dual.n dual in
+  if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
+  let covered = Array.make n false in
+  let relayed = Array.make n false in
+  let covered_count = ref 0 in
+  let completion_round = ref None in
+  let relays = ref 0 in
+  let mac = ref None in
+  let cover ~round node =
+    if not covered.(node) then begin
+      covered.(node) <- true;
+      incr covered_count;
+      if !covered_count = n && !completion_round = None then
+        completion_round := Some round
+    end
+  in
+  let relay ~node =
+    if not relayed.(node) then begin
+      relayed.(node) <- true;
+      match !mac with
+      | Some mac ->
+          if Mac.request mac ~node ~tag:flood_tag then incr relays
+          else relayed.(node) <- false (* busy: retry on a later reception *)
+      | None -> ()
+    end
+  in
+  let callbacks =
+    {
+      Mac.on_recv =
+        (fun ~node ~round payload ->
+          if payload.Localcast.Messages.tag = flood_tag then begin
+            cover ~round node;
+            relay ~node
+          end);
+      on_ack = (fun ~node:_ ~round:_ _ -> ());
+    }
+  in
+  let m = Mac.create ~callbacks ~params ~rng ~dual () in
+  mac := Some m;
+  cover ~round:0 source;
+  relayed.(source) <- true;
+  if Mac.request m ~node:source ~tag:flood_tag then incr relays;
+  let stop _record = !covered_count = n in
+  let rounds_executed = Mac.run ~stop m ~scheduler ~rounds:max_rounds in
+  {
+    covered;
+    covered_count = !covered_count;
+    completion_round = !completion_round;
+    relays = !relays;
+    rounds_executed;
+  }

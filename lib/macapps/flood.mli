@@ -1,0 +1,33 @@
+(** Multi-hop flood over the abstract MAC layer.
+
+    The canonical first algorithm of the abstract-MAC-layer literature
+    (Kuhn–Lynch–Newport; Khabbazian et al.): a source broadcasts a
+    message; every node relays it once upon first reception.  Written
+    purely against {!Localcast.Mac}, it inherits the dual graph tolerance
+    of the underlying LB service — the composition claim of the paper's
+    introduction.  Over a network of reliable diameter D the expected
+    completion time is O(D · f_ack)-shaped (each hop costs at most one
+    acknowledgement epoch). *)
+
+type result = {
+  covered : bool array;  (** nodes that got the flood (source included) *)
+  covered_count : int;
+  completion_round : int option;
+      (** first round at which every node was covered, if reached *)
+  relays : int;  (** number of nodes that rebroadcast *)
+  rounds_executed : int;
+}
+
+val run :
+  params:Localcast.Params.t ->
+  rng:Prng.Rng.t ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Radiosim.Scheduler.t ->
+  source:int ->
+  max_rounds:int ->
+  ?flood_tag:int ->
+  unit ->
+  result
+(** Floods from [source], stopping as soon as every vertex is covered or
+    [max_rounds] elapse.  [flood_tag] (default 1) identifies the flood in
+    message tags. *)

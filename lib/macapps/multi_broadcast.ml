@@ -1,0 +1,84 @@
+module Mac = Localcast.Mac
+module M = Localcast.Messages
+
+type result = {
+  delivered : bool array array;
+  complete_messages : int;
+  completion_round : int option;
+  relays : int;
+  rounds_executed : int;
+}
+
+let run ~params ~rng ~dual ~scheduler ~sources ~max_rounds () =
+  let n = Dualgraph.Dual.n dual in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Multi_broadcast.run: source out of range")
+    sources;
+  let k = List.length sources in
+  let delivered = Array.make_matrix k n false in
+  let remaining = ref (k * n) in
+  let completion_round = ref None in
+  let relays = ref 0 in
+  (* Per node: messages seen (to relay once) and the relay queue awaiting
+     a free MAC endpoint. *)
+  let seen = Array.init n (fun _ -> Array.make k false) in
+  let queue = Array.make n [] in
+  let mac = ref None in
+  let mark ~round idx node =
+    if not delivered.(idx).(node) then begin
+      delivered.(idx).(node) <- true;
+      decr remaining;
+      if !remaining = 0 && !completion_round = None then
+        completion_round := Some round
+    end
+  in
+  let try_send node =
+    match (!mac, queue.(node)) with
+    | Some mac, idx :: rest ->
+        if Mac.request mac ~node ~tag:(idx + 1) then begin
+          incr relays;
+          queue.(node) <- rest
+        end
+    | _ -> ()
+  in
+  let enqueue node idx =
+    if not seen.(node).(idx) then begin
+      seen.(node).(idx) <- true;
+      queue.(node) <- queue.(node) @ [ idx ];
+      try_send node
+    end
+  in
+  let callbacks =
+    {
+      Mac.on_recv =
+        (fun ~node ~round payload ->
+          let idx = payload.M.tag - 1 in
+          if idx >= 0 && idx < k then begin
+            mark ~round idx node;
+            enqueue node idx
+          end);
+      on_ack = (fun ~node ~round:_ _ -> try_send node);
+    }
+  in
+  let m = Mac.create ~callbacks ~params ~rng ~dual () in
+  mac := Some m;
+  List.iteri
+    (fun idx source ->
+      mark ~round:0 idx source;
+      enqueue source idx)
+    sources;
+  let stop _ = !remaining = 0 in
+  let rounds_executed = Mac.run ~stop m ~scheduler ~rounds:max_rounds in
+  let complete_messages =
+    Array.fold_left
+      (fun acc per_node -> if Array.for_all Fun.id per_node then acc + 1 else acc)
+      0 delivered
+  in
+  {
+    delivered;
+    complete_messages;
+    completion_round = !completion_round;
+    relays = !relays;
+    rounds_executed;
+  }

@@ -1,0 +1,33 @@
+(** Multi-message network-wide broadcast over the abstract MAC layer.
+
+    The workload of the paper's references [9, 10] (Ghaffari–Kantor–
+    Lynch–Newport, PODC'14): [k] distinct messages originate at arbitrary
+    sources and every node must deliver all of them.  Each node relays
+    each message once, queueing relays while its single MAC endpoint is
+    busy — the standard store-and-forward discipline on top of
+    bcast/ack/recv events. *)
+
+type result = {
+  delivered : bool array array;
+      (** [delivered.(i).(v)]: message [i] reached node [v] *)
+  complete_messages : int;  (** messages that reached every node *)
+  completion_round : int option;
+      (** first round when all messages reached all nodes *)
+  relays : int;  (** total MAC bcast requests issued (sources included) *)
+  rounds_executed : int;
+}
+
+val run :
+  params:Localcast.Params.t ->
+  rng:Prng.Rng.t ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Radiosim.Scheduler.t ->
+  sources:int list ->
+  max_rounds:int ->
+  unit ->
+  result
+(** [run ~sources] starts one message per listed source (message [i]
+    originates at [List.nth sources i]; a node may appear several times
+    and will originate several messages, serialized through its MAC
+    endpoint).  Message identity travels in the payload [tag] as
+    [i + 1]. *)

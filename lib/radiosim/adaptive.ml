@@ -1,0 +1,77 @@
+module Dual = Dualgraph.Dual
+
+type t = {
+  name : string;
+  choose : round:int -> transmitting:bool array -> edge:int -> bool;
+}
+
+let name t = t.name
+let choose t = t.choose
+
+let of_oblivious scheduler =
+  {
+    name = Scheduler.name scheduler;
+    choose =
+      (fun ~round ~transmitting:_ ~edge -> Scheduler.active scheduler ~round ~edge);
+  }
+
+let jam dual =
+  let unreliable = Dual.unreliable_edges dual in
+  let n = Dual.n dual in
+  (* (node -> incident unreliable edge ids), for the per-round scan. *)
+  let incident = Array.make n [] in
+  Array.iteri
+    (fun idx (u, v) ->
+      incident.(u) <- (idx, v) :: incident.(u);
+      incident.(v) <- (idx, u) :: incident.(v))
+    unreliable;
+  (* Cache one round's decision, keyed by BOTH the round number and the
+     physical identity of the transmission vector: the engine allocates a
+     fresh vector every round, so this never serves a stale decision even
+     if one adversary value is (incorrectly but harmlessly) reused across
+     several runs. *)
+  let last_key : (int * bool array) option ref = ref None in
+  let active = Array.make (Array.length unreliable) false in
+  let recompute transmitting =
+    Array.fill active 0 (Array.length active) false;
+    for u = 0 to n - 1 do
+      if not transmitting.(u) then begin
+        let reliable_transmitters = ref 0 in
+        Array.iter
+          (fun v -> if transmitting.(v) then incr reliable_transmitters)
+          (Dual.reliable_neighbors dual u);
+        let unreliable_transmitters =
+          List.filter (fun (_, v) -> transmitting.(v)) incident.(u)
+        in
+        match (!reliable_transmitters, unreliable_transmitters) with
+        | 1, (edge, _) :: _ ->
+            (* One clean reliable transmitter: collide it if possible. *)
+            active.(edge) <- true
+        | 0, [ _ ] ->
+            (* A single unreliable transmitter would deliver: keep it out. *)
+            ()
+        | 0, (e1, _) :: (e2, _) :: _ ->
+            (* Several unreliable transmitters: bring in two to collide.
+               (They may already be incident elsewhere; extra inclusions
+               only ever add contention.) *)
+            active.(e1) <- true;
+            active.(e2) <- true
+        | _ -> ()
+      end
+    done
+  in
+  {
+    name = "adaptive-jam";
+    choose =
+      (fun ~round ~transmitting ~edge ->
+        let fresh =
+          match !last_key with
+          | Some (r, v) -> r <> round || not (v == transmitting)
+          | None -> true
+        in
+        if fresh then begin
+          recompute transmitting;
+          last_key := Some (round, transmitting)
+        end;
+        active.(edge));
+  }

@@ -1,0 +1,41 @@
+(** Adaptive link schedulers — the model variant the paper rules out.
+
+    The paper assumes an {e oblivious} link scheduler (fixed before the
+    execution).  Its predecessor work (Ghaffari–Lynch–Newport, the paper's
+    [11]) proved that against an {e adaptive} scheduler — one that picks
+    the round's unreliable edges {e after} seeing who transmits — local
+    broadcast with efficient progress is impossible.  This module
+    implements such adversaries so experiment E13 can reproduce the
+    contrast that justifies the obliviousness assumption.
+
+    An adaptive scheduler is consulted once per round, after all transmit
+    decisions are fixed, and returns the set of unreliable edges to
+    include.  Use with {!Engine.run_adaptive}. *)
+
+type t
+
+val name : t -> string
+
+val choose : t -> round:int -> transmitting:bool array -> edge:int -> bool
+(** [choose t ~round ~transmitting] decides, for the round whose
+    transmission vector is [transmitting], whether each unreliable edge
+    joins the topology.  Implementations must be deterministic functions
+    of their arguments (plus construction-time state). *)
+
+val of_oblivious : Scheduler.t -> t
+(** Lift an oblivious scheduler (it ignores the transmission vector). *)
+
+val jam : Dualgraph.Dual.t -> t
+(** The collision-forcing adversary behind the impossibility argument.
+    For every listening node [u] it inspects the transmitters among [u]'s
+    potential neighbors and picks the unreliable edges so that [u] never
+    hears a clean message if the adversary can help it:
+
+    - if exactly one reliable neighbor of [u] transmits, it switches in an
+      unreliable edge from any other transmitter to collide with it;
+    - if no reliable neighbor transmits, it switches in either zero or at
+      least two transmitting unreliable neighbors (never exactly one).
+
+    [u] receives only in rounds where a reliable neighbor transmits alone
+    {e and} no transmitting node is within unreliable range — the
+    adversary is powerless only then. *)

@@ -1,0 +1,107 @@
+module Dual = Dualgraph.Dual
+
+(* Per-node incidence of unreliable edges: (neighbor, edge index) pairs,
+   where the index refers to [Dual.unreliable_edges]. *)
+let unreliable_incidence dual =
+  let n = Dual.n dual in
+  let incident = Array.make n [] in
+  Array.iteri
+    (fun idx (u, v) ->
+      incident.(u) <- (v, idx) :: incident.(u);
+      incident.(v) <- (u, idx) :: incident.(v))
+    (Dual.unreliable_edges dual);
+  Array.map Array.of_list incident
+
+(* The shared round loop.  [edge_active] decides, per round, which
+   unreliable edges join the topology; for oblivious schedulers it ignores
+   the transmission vector, for adaptive adversaries (Adaptive.t) it may
+   inspect it — the engine computes the vector before resolving any
+   reception either way, so both cases share one collision-resolution
+   path. *)
+let run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop () =
+  let n = Dual.n dual in
+  if Array.length nodes <> n then
+    invalid_arg "Engine.run: node array size differs from vertex count";
+  if rounds < 0 then invalid_arg "Engine.run: negative round count";
+  let incident = unreliable_incidence dual in
+  let executed = ref 0 in
+  let continue = ref true in
+  let round = ref 0 in
+  while !continue && !round < rounds do
+    let t = !round in
+    (* Step 1 + 2: inputs, then transmit/listen decisions. *)
+    let inputs = Array.init n (fun v -> env.Env.inputs ~round:t ~node:v) in
+    let actions =
+      Array.mapi (fun v node -> node.Process.decide ~round:t inputs.(v)) nodes
+    in
+    let transmitting =
+      Array.map
+        (function Process.Transmit _ -> true | Process.Listen -> false)
+        actions
+    in
+    let active = edge_active ~round:t ~transmitting in
+    (* Step 3: receptions under the round's topology. *)
+    let delivered =
+      Array.init n (fun u ->
+          match actions.(u) with
+          | Process.Transmit _ -> None
+          | Process.Listen ->
+              let heard = ref None in
+              let collided = ref false in
+              let consider v =
+                match actions.(v) with
+                | Process.Listen -> ()
+                | Process.Transmit m -> (
+                    match !heard with
+                    | None -> heard := Some m
+                    | Some _ -> collided := true)
+              in
+              Array.iter consider (Dual.reliable_neighbors dual u);
+              Array.iter
+                (fun (v, edge) -> if active ~edge then consider v)
+                incident.(u);
+              if !collided then None else !heard)
+    in
+    (* Step 4: outputs, consumed by the environment. *)
+    let outputs =
+      Array.mapi (fun v node -> node.Process.absorb ~round:t delivered.(v)) nodes
+    in
+    Array.iteri
+      (fun v outs -> if outs <> [] then env.Env.notify ~round:t ~node:v outs)
+      outputs;
+    let record = { Trace.round = t; inputs; actions; delivered; outputs } in
+    (match observer with Some f -> f record | None -> ());
+    (match stop with Some p when p record -> continue := false | _ -> ());
+    incr executed;
+    incr round
+  done;
+  !executed
+
+let run ?observer ?stop ~dual ~scheduler ~nodes ~env ~rounds () =
+  let edge_active ~round ~transmitting:_ ~edge =
+    Scheduler.active scheduler ~round ~edge
+  in
+  run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop ()
+
+let run_adaptive ?observer ?stop ~dual ~adversary ~nodes ~env ~rounds () =
+  let edge_active ~round ~transmitting ~edge =
+    Adaptive.choose adversary ~round ~transmitting ~edge
+  in
+  run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop ()
+
+let transmitter_counts ~dual ~scheduler ~round ~transmitting =
+  let n = Dual.n dual in
+  if Array.length transmitting <> n then
+    invalid_arg "Engine.transmitter_counts: size mismatch";
+  let incident = unreliable_incidence dual in
+  Array.init n (fun u ->
+      let count = ref 0 in
+      Array.iter
+        (fun v -> if transmitting.(v) then incr count)
+        (Dual.reliable_neighbors dual u);
+      Array.iter
+        (fun (v, edge) ->
+          if transmitting.(v) && Scheduler.active scheduler ~round ~edge then
+            incr count)
+        incident.(u);
+      !count)

@@ -1,0 +1,61 @@
+(** The synchronous execution engine for the dual graph model (paper §2).
+
+    Round [t] (0-indexed) proceeds exactly as the model prescribes:
+
+    + every node receives its environment inputs,
+    + every node commits to [Transmit m] or [Listen],
+    + the communication topology for the round is formed: all of [E] plus
+      the subset of [E' \ E] the (oblivious) link scheduler activates,
+    + node [u] receives [m] from [v] iff [u] listens, [v] transmits [m],
+      and [v] is the {e only} transmitter among [u]'s neighbors in the
+      round's topology; otherwise a listener receives ⊥ ([None] — no
+      collision detection),
+    + every node emits outputs, which the environment consumes.
+
+    The combination (dual graph, nodes, scheduler, environment) is the
+    paper's {e configuration}; given the per-node RNGs it fully determines
+    the execution. *)
+
+val run :
+  ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
+  ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Scheduler.t ->
+  nodes:('msg, 'input, 'output) Process.node array ->
+  env:('input, 'output) Env.t ->
+  rounds:int ->
+  unit ->
+  int
+(** Executes up to [rounds] rounds and returns the number actually
+    executed.  [observer] sees each round's record as it completes;
+    [stop], checked after the observer, ends the run early when it
+    returns [true].  Raises [Invalid_argument] if the node array size
+    differs from the graph's vertex count. *)
+
+val run_adaptive :
+  ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
+  ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
+  dual:Dualgraph.Dual.t ->
+  adversary:Adaptive.t ->
+  nodes:('msg, 'input, 'output) Process.node array ->
+  env:('input, 'output) Env.t ->
+  rounds:int ->
+  unit ->
+  int
+(** Like {!run}, but the unreliable-edge choice is made by an
+    {!Adaptive} adversary that sees the round's transmission vector —
+    the model variant under which the paper's predecessor work proves
+    efficient progress impossible.  Kept separate from {!run} so that a
+    type of scheduler can never silently escalate into the stronger
+    adversary. *)
+
+val transmitter_counts :
+  dual:Dualgraph.Dual.t ->
+  scheduler:Scheduler.t ->
+  round:int ->
+  transmitting:bool array ->
+  int array
+(** Diagnostic: for the given transmitting set, the number of
+    topology-neighbors of each node that transmit in [round] (the
+    contention each listener faces).  Used by tests to cross-check the
+    engine's collision rule. *)

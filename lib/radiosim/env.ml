@@ -1,0 +1,20 @@
+type ('input, 'output) t = {
+  name : string;
+  inputs : round:int -> node:int -> 'input list;
+  notify : round:int -> node:int -> 'output list -> unit;
+}
+
+let null ~name () =
+  {
+    name;
+    inputs = (fun ~round:_ ~node:_ -> []);
+    notify = (fun ~round:_ ~node:_ _ -> ());
+  }
+
+let scripted ~name events =
+  let inputs ~round ~node =
+    List.filter_map
+      (fun (r, v, input) -> if r = round && v = node then Some input else None)
+      events
+  in
+  { name; inputs; notify = (fun ~round:_ ~node:_ _ -> ()) }

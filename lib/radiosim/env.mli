@@ -1,0 +1,21 @@
+(** Environments: deterministic input/output automata (paper §2).
+
+    An environment generates each node's inputs at the top of a round and
+    consumes its outputs at the bottom.  The paper restricts attention to
+    deterministic environments; ours are deterministic automata whose
+    state advances only on the outputs they observe (e.g. the local
+    broadcast environments in {!Localcast} wait for an [ack] before
+    issuing the next [bcast]). *)
+
+type ('input, 'output) t = {
+  name : string;
+  inputs : round:int -> node:int -> 'input list;
+  notify : round:int -> node:int -> 'output list -> unit;
+}
+
+val null : name:string -> unit -> ('input, 'output) t
+(** No inputs; outputs are discarded. *)
+
+val scripted : name:string -> (int * int * 'input) list -> ('input, 'output) t
+(** [scripted events] delivers each [(round, node, input)] exactly once at
+    the top of the given round.  Outputs are discarded. *)

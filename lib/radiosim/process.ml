@@ -1,0 +1,15 @@
+type 'msg action =
+  | Transmit of 'msg
+  | Listen
+
+type ('msg, 'input, 'output) node = {
+  decide : round:int -> 'input list -> 'msg action;
+  absorb : round:int -> 'msg option -> 'output list;
+}
+
+let silent () =
+  { decide = (fun ~round:_ _ -> Listen); absorb = (fun ~round:_ _ -> []) }
+
+let pp_action pp_msg ppf = function
+  | Transmit m -> Format.fprintf ppf "transmit(%a)" pp_msg m
+  | Listen -> Format.pp_print_string ppf "listen"

@@ -1,0 +1,33 @@
+(** The process abstraction: probabilistic synchronous automata (paper §2).
+
+    The model breaks each round into four steps: (1) every process
+    receives its environment inputs; (2) transmitters transmit; (3)
+    everyone receives; (4) processes emit outputs which the environment
+    consumes.  A [node] exposes exactly the two decision points a process
+    owns in that schedule:
+
+    - [decide] is called once per round after inputs are delivered and
+      must commit to transmitting or listening {e before} knowing what
+      will be heard this round;
+    - [absorb] is then called with the reception result ([Some m] for a
+      clean reception, [None] for silence or collision — the model's ⊥,
+      "no collision detection") and returns the round's outputs.
+
+    State lives inside the closures; every node draws randomness only from
+    the [Prng.Rng.t] it was built with, so executions are replayable. *)
+
+type 'msg action =
+  | Transmit of 'msg
+  | Listen
+
+type ('msg, 'input, 'output) node = {
+  decide : round:int -> 'input list -> 'msg action;
+  absorb : round:int -> 'msg option -> 'output list;
+}
+
+val silent : unit -> ('msg, 'input, 'output) node
+(** A node that always listens and never outputs — useful as a passive
+    receiver or placeholder. *)
+
+val pp_action :
+  (Format.formatter -> 'msg -> unit) -> Format.formatter -> 'msg action -> unit

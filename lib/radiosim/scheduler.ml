@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  active : round:int -> edge:int -> bool;
+}
+
+let name t = t.name
+let active t = t.active
+let make ~name active = { name; active }
+
+let reliable_only =
+  { name = "reliable-only"; active = (fun ~round:_ ~edge:_ -> false) }
+
+let all_edges = { name = "all-edges"; active = (fun ~round:_ ~edge:_ -> true) }
+
+let bernoulli ~seed ~p =
+  let threshold =
+    (* Compare 53 hash bits against p, exactly mirroring Rng.float. *)
+    p
+  in
+  let active ~round ~edge =
+    let h =
+      Prng.Splitmix.mix
+        (Int64.add
+           (Int64.mul (Int64.of_int round) 0x100000001B3L)
+           (Int64.of_int ((edge * 2654435761) + seed)))
+    in
+    let v = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 in
+    v < threshold
+  in
+  { name = Printf.sprintf "bernoulli(p=%.2f)" p; active }
+
+let flicker ~period ~duty =
+  if period <= 0 || duty < 0 || duty > period then
+    invalid_arg "Scheduler.flicker: need 0 <= duty <= period, period > 0";
+  {
+    name = Printf.sprintf "flicker(%d/%d)" duty period;
+    active = (fun ~round ~edge:_ -> round mod period < duty);
+  }
+
+let edge_phase_flicker ~period =
+  if period <= 0 then invalid_arg "Scheduler.edge_phase_flicker: period > 0";
+  {
+    name = Printf.sprintf "edge-phase(%d)" period;
+    active = (fun ~round ~edge -> round mod period = edge mod period);
+  }
+
+let thwart ~hot =
+  { name = "thwart"; active = (fun ~round ~edge:_ -> hot round) }
+
+let pp ppf t = Format.pp_print_string ppf t.name

@@ -1,0 +1,55 @@
+(** Oblivious link schedulers (paper §2).
+
+    A link scheduler resolves, for every round [t], which edges of
+    [E' \ E] join the communication topology.  The paper's scheduler is a
+    sequence [G₁, G₂, …] fixed before the execution starts — i.e.
+    {e oblivious}: it may know the algorithm and the topology, but not the
+    coin flips of the run.  We enforce obliviousness structurally: a
+    scheduler is a pure function of [(round, edge index)] plus state fixed
+    at construction time (its own seed, the decay schedule it is
+    attacking, …), and the engine never feeds execution information back
+    into it.
+
+    Edge indices refer to {!Dualgraph.Dual.unreliable_edges}. *)
+
+type t
+
+val name : t -> string
+
+val active : t -> round:int -> edge:int -> bool
+(** Whether unreliable edge [edge] is present in round [round]. *)
+
+val make : name:string -> (round:int -> edge:int -> bool) -> t
+(** Build a custom scheduler.  The function must be pure. *)
+
+val reliable_only : t
+(** Never includes an unreliable edge: the topology is always G.  Under
+    this scheduler the model degenerates to the classical radio network
+    model. *)
+
+val all_edges : t
+(** Always includes every unreliable edge: the topology is always G'. *)
+
+val bernoulli : seed:int -> p:float -> t
+(** Each (edge, round) pair is included independently with probability
+    [p], via a hash of the pair — oblivious by construction. *)
+
+val flicker : period:int -> duty:int -> t
+(** Deterministic periodic scheduler: edges are present in rounds
+    [t mod period < duty] and absent otherwise. *)
+
+val edge_phase_flicker : period:int -> t
+(** Each edge [e] is present only in rounds [t ≡ e mod period] — different
+    edges alternate, so local contention keeps shifting shape. *)
+
+val thwart : hot:(int -> bool) -> t
+(** The Discussion-§1 adversary, parameterized by a predicate telling it
+    in which rounds the attacked fixed-probability schedule transmits with
+    {e high} probability.  In hot rounds it includes every unreliable edge
+    (maximizing contention, forcing collisions); in cold rounds it removes
+    them all (so the few remaining reliable transmitters almost never
+    fire).  [hot] must be a pure function of the round number: the
+    scheduler remains oblivious, since a fixed transmit-probability
+    schedule is known before the execution begins. *)
+
+val pp : Format.formatter -> t -> unit

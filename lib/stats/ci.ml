@@ -1,0 +1,17 @@
+type t = { rate : float; lower : float; upper : float }
+
+let wilson ?(z = 1.96) ~successes ~trials () =
+  if trials <= 0 then invalid_arg "Ci.wilson: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Ci.wilson: successes outside [0, trials]";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let spread =
+    z *. sqrt (((p *. (1.0 -. p)) +. (z2 /. (4.0 *. n))) /. n) /. denom
+  in
+  { rate = p; lower = Float.max 0.0 (center -. spread); upper = Float.min 1.0 (center +. spread) }
+
+let pp ppf t = Format.fprintf ppf "%.4f [%.4f, %.4f]" t.rate t.lower t.upper

@@ -1,0 +1,14 @@
+(** Binomial confidence intervals.
+
+    Error-probability experiments (E3, E5, E6) estimate a failure rate
+    from Bernoulli trials; the Wilson score interval gives usable bounds
+    even when no failures were observed. *)
+
+type t = { rate : float; lower : float; upper : float }
+
+val wilson : ?z:float -> successes:int -> trials:int -> unit -> t
+(** Wilson score interval at confidence [z] standard normal quantiles
+    (default [z = 1.96], ≈ 95%).  Requires [0 <= successes <= trials] and
+    [trials > 0]. *)
+
+val pp : Format.formatter -> t -> unit

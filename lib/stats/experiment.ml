@@ -1,0 +1,15 @@
+let trials ~seed ~n f =
+  List.init n (fun trial ->
+      (* A fixed affine-then-mix derivation keeps trial seeds reproducible
+         and well separated. *)
+      let derived = (seed * 0x9E3779B1) + (trial * 0x85EBCA77) + 0x165667B1 in
+      f ~trial ~seed:derived)
+
+let count p l = List.length (List.filter p l)
+
+let float_samples f l = List.map f l
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)

@@ -1,0 +1,17 @@
+(** Trial running for the experiment harness.
+
+    Experiments repeat a randomized measurement across independently
+    seeded trials and aggregate.  The runner derives one deterministic
+    sub-seed per trial from a master seed, so every table in
+    EXPERIMENTS.md is exactly reproducible. *)
+
+val trials : seed:int -> n:int -> (trial:int -> seed:int -> 'a) -> 'a list
+(** [trials ~seed ~n f] runs [f] for trials [0 .. n-1], each with its own
+    derived seed. *)
+
+val count : ('a -> bool) -> 'a list -> int
+
+val float_samples : ('a -> float) -> 'a list -> float list
+
+val time : (unit -> 'a) -> 'a * float
+(** Result plus wall-clock seconds. *)

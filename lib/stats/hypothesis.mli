@@ -1,0 +1,26 @@
+(** Lightweight hypothesis tests for randomness checks.
+
+    Used by the prng property tests and by experiment E4 to turn the
+    paper's independence claims (Lemmas B.17/B.18) into quantitative
+    verdicts instead of loose tolerance checks. *)
+
+val chi_square_statistic : observed:int array -> expected:float array -> float
+(** Pearson's X² = Σ (O - E)² / E.  Requires same-length arrays with all
+    expected counts positive. *)
+
+val chi_square_uniform : int array -> float
+(** X² against the uniform distribution over the array's cells. *)
+
+val chi_square_critical : df:int -> float
+(** The 99th-percentile critical value of the χ² distribution with [df]
+    degrees of freedom (Wilson–Hilferty approximation; exact to ~1% for
+    df >= 3).  A statistic below this is consistent with the null at the
+    1% level. *)
+
+val uniform_ok : ?df:int -> int array -> bool
+(** [uniform_ok counts]: is the cell distribution consistent with uniform
+    at the 1% level?  [df] defaults to [length - 1]. *)
+
+val serial_correlation : float array -> float
+(** Lag-1 autocorrelation coefficient; near 0 for independent samples.
+    Returns 0 for fewer than 3 samples or constant input. *)

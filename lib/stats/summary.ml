@@ -1,0 +1,59 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Summary.mean: empty sample"
+  | samples ->
+      List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.percentile: q outside [0,1]";
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let of_array samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let total = Array.fold_left ( +. ) 0.0 sorted in
+  let mu = total /. float_of_int n in
+  let sq_dev =
+    Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 sorted
+  in
+  let stddev = if n < 2 then 0.0 else sqrt (sq_dev /. float_of_int (n - 1)) in
+  {
+    count = n;
+    mean = mu;
+    stddev;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+  }
+
+let of_list samples = of_array (Array.of_list samples)
+
+let of_ints samples = of_list (List.map float_of_int samples)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.2f med=%.2f p90=%.2f p99=%.2f max=%.2f"
+    t.count t.mean t.stddev t.min t.median t.p90 t.p99 t.max

@@ -1,0 +1,30 @@
+(** Descriptive statistics over float samples.
+
+    The experiment harness reports means, dispersion and order statistics
+    of measured latencies and rates.  All functions are total on non-empty
+    inputs and raise [Invalid_argument] on empty ones unless noted. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+val of_list : float list -> t
+
+val of_array : float array -> t
+
+val of_ints : int list -> t
+
+val mean : float list -> float
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q ∈ \[0,1\]]: linear-interpolated order
+    statistic.  The array must be sorted ascending. *)
+
+val pp : Format.formatter -> t -> unit

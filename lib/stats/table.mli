@@ -1,0 +1,23 @@
+(** Aligned plain-text tables for the experiment reports.
+
+    [bench/main.exe] prints one table per experiment; this renderer keeps
+    the columns readable in a terminal and in EXPERIMENTS.md code blocks. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on column-count mismatch. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_rate : float -> string
+(** Percent with two decimals, e.g. ["97.50%"]. *)

@@ -1,0 +1,171 @@
+(* Tests for the baseline broadcast strategies and the shared
+   progress-latency harness. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module P = Radiosim.Process
+module M = Localcast.Messages
+module Decay = Baseline.Decay
+module Uniform = Baseline.Uniform
+module Round_robin = Baseline.Round_robin
+module Harness = Baseline.Harness
+module Rng = Prng.Rng
+
+let payload src = M.payload ~src ~uid:0 ()
+
+let count_transmissions node rounds =
+  let count = ref 0 in
+  for round = 0 to rounds - 1 do
+    match node.P.decide ~round [] with
+    | P.Transmit _ -> incr count
+    | P.Listen -> ()
+  done;
+  !count
+
+let test_decay_levels_for () =
+  checki "delta'=2" 2 (Decay.levels_for ~delta':2);
+  checki "delta'=8" 4 (Decay.levels_for ~delta':8);
+  checki "delta'=9" 5 (Decay.levels_for ~delta':9);
+  checki "delta'=1" 2 (Decay.levels_for ~delta':1)
+
+let test_decay_validation () =
+  Alcotest.check_raises "levels >= 1"
+    (Invalid_argument "Decay.node: levels must be >= 1") (fun () ->
+      ignore (Decay.node ~levels:0 ~message:(payload 0) ~rng:(Rng.of_int 1)))
+
+let test_decay_transmission_rate () =
+  (* With a single level the schedule transmits w.p. 1/2 every round. *)
+  let node = Decay.node ~levels:1 ~message:(payload 0) ~rng:(Rng.of_int 2) in
+  let c = count_transmissions node 10_000 in
+  checkb "rate near 1/2" true (Float.abs ((float_of_int c /. 10_000.0) -. 0.5) < 0.02)
+
+let test_decay_level_structure () =
+  (* With 3 levels, per-epoch expected transmissions = 1/2 + 1/4 + 1/8. *)
+  let node = Decay.node ~levels:3 ~message:(payload 0) ~rng:(Rng.of_int 3) in
+  let epochs = 6000 in
+  let c = count_transmissions node (3 * epochs) in
+  let per_epoch = float_of_int c /. float_of_int epochs in
+  checkb "per-epoch rate near 7/8" true (Float.abs (per_epoch -. 0.875) < 0.05)
+
+let test_decay_hot_predicate () =
+  checkb "level 0 hot" true (Decay.hot_predicate ~levels:4 ~hot_levels:2 0);
+  checkb "level 1 hot" true (Decay.hot_predicate ~levels:4 ~hot_levels:2 1);
+  checkb "level 2 cold" false (Decay.hot_predicate ~levels:4 ~hot_levels:2 2);
+  checkb "wraps around" true (Decay.hot_predicate ~levels:4 ~hot_levels:2 4)
+
+let test_uniform_edges () =
+  let one = Uniform.node ~p:1.0 ~message:(payload 0) ~rng:(Rng.of_int 4) in
+  checki "p=1 always" 100 (count_transmissions one 100);
+  let zero = Uniform.node ~p:0.0 ~message:(payload 0) ~rng:(Rng.of_int 4) in
+  checki "p=0 never" 0 (count_transmissions zero 100);
+  Alcotest.check_raises "validation"
+    (Invalid_argument "Uniform.node: p must be in [0, 1]") (fun () ->
+      ignore (Uniform.node ~p:1.5 ~message:(payload 0) ~rng:(Rng.of_int 4)))
+
+let test_uniform_rate () =
+  let node = Uniform.node ~p:0.25 ~message:(payload 0) ~rng:(Rng.of_int 5) in
+  let c = count_transmissions node 10_000 in
+  checkb "rate near 1/4" true (Float.abs ((float_of_int c /. 10_000.0) -. 0.25) < 0.02)
+
+let test_round_robin_pattern () =
+  let node = Round_robin.node ~n:4 ~id:2 ~message:(payload 2) in
+  for round = 0 to 19 do
+    let expected = round mod 4 = 2 in
+    let actual =
+      match node.P.decide ~round [] with P.Transmit _ -> true | P.Listen -> false
+    in
+    checkb "slot discipline" expected actual
+  done;
+  Alcotest.check_raises "validation" (Invalid_argument "Round_robin.node: bad id/n")
+    (fun () -> ignore (Round_robin.node ~n:3 ~id:3 ~message:(payload 0)))
+
+let test_harness_immediate () =
+  let dual = Geo.pair () in
+  let nodes =
+    [| Uniform.node ~p:1.0 ~message:(payload 0) ~rng:(Rng.of_int 6); Harness.receiver () |]
+  in
+  Alcotest.check (Alcotest.option Alcotest.int) "heard at round 0" (Some 0)
+    (Harness.first_reception ~dual ~scheduler:Sch.reliable_only ~nodes ~receiver:1
+       ~max_rounds:10)
+
+let test_harness_starvation () =
+  let dual = Geo.pair () in
+  let nodes =
+    [| Uniform.node ~p:0.0 ~message:(payload 0) ~rng:(Rng.of_int 6); Harness.receiver () |]
+  in
+  Alcotest.check (Alcotest.option Alcotest.int) "never hears" None
+    (Harness.first_reception ~dual ~scheduler:Sch.reliable_only ~nodes ~receiver:1
+       ~max_rounds:25)
+
+let test_decay_beats_starvation_without_adversary () =
+  (* Decay makes progress quickly on the grey-cluster fixture when the
+     scheduler keeps unreliable links off. *)
+  let k = 8 in
+  let dual = Geo.gray_cluster ~k ~r:1.5 () in
+  let rng = Rng.of_int 7 in
+  let levels = Decay.levels_for ~delta':(Dual.delta' dual) in
+  let nodes =
+    Array.init (k + 2) (fun v ->
+        if v = 0 then Harness.receiver ()
+        else Decay.node ~levels ~message:(payload v) ~rng:(Rng.split rng))
+  in
+  let latency =
+    Harness.first_reception ~dual ~scheduler:Sch.reliable_only ~nodes ~receiver:0
+      ~max_rounds:500
+  in
+  checkb "fast progress without adversary" true
+    (match latency with Some l -> l < 100 | None -> false)
+
+let test_thwart_starves_decay () =
+  (* The paper's Discussion attack: under the thwarting scheduler, Decay's
+     receiver starves far longer than under the benign scheduler. *)
+  let k = 8 in
+  let dual = Geo.gray_cluster ~k ~r:1.5 () in
+  let levels = Decay.levels_for ~delta':(Dual.delta' dual) in
+  let run scheduler seed =
+    let rng = Rng.of_int seed in
+    let nodes =
+      Array.init (k + 2) (fun v ->
+          if v = 0 then Harness.receiver ()
+          else Decay.node ~levels ~message:(payload v) ~rng:(Rng.split rng))
+    in
+    Harness.first_reception ~dual ~scheduler ~nodes ~receiver:0 ~max_rounds:4000
+  in
+  let thwart =
+    Sch.thwart ~hot:(Decay.hot_predicate ~levels ~hot_levels:(levels - 1))
+  in
+  let benign_total = ref 0 and thwart_total = ref 0 in
+  let trials = 10 in
+  for seed = 1 to trials do
+    (match run Sch.reliable_only seed with
+    | Some l -> benign_total := !benign_total + l
+    | None -> benign_total := !benign_total + 4000);
+    match run thwart seed with
+    | Some l -> thwart_total := !thwart_total + l
+    | None -> thwart_total := !thwart_total + 4000
+  done;
+  checkb "adversary at least triples decay's latency" true
+    (!thwart_total > 3 * !benign_total)
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("decay levels_for", test_decay_levels_for);
+      ("decay validation", test_decay_validation);
+      ("decay transmission rate", test_decay_transmission_rate);
+      ("decay level structure", test_decay_level_structure);
+      ("decay hot predicate", test_decay_hot_predicate);
+      ("uniform edges", test_uniform_edges);
+      ("uniform rate", test_uniform_rate);
+      ("round robin pattern", test_round_robin_pattern);
+      ("harness immediate", test_harness_immediate);
+      ("harness starvation", test_harness_starvation);
+      ("decay fast without adversary", test_decay_beats_starvation_without_adversary);
+      ("thwart starves decay", test_thwart_starves_decay);
+    ]

@@ -1,0 +1,417 @@
+(* Tests for the dual graph substrate: graphs, embeddings, the dual graph
+   invariants (E ⊆ E', r-geographic), topology generators, and the
+   Appendix A.1 region partition. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module G = Dualgraph.Graph
+module E = Dualgraph.Embedding
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Region = Dualgraph.Region
+module Rng = Prng.Rng
+
+(* --- Graph --- *)
+
+let path5 = G.create ~n:5 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+let test_graph_dedupe () =
+  let g = G.create ~n:3 ~edges:[ (0, 1); (1, 0); (0, 1) ] in
+  checki "one edge" 1 (G.edge_count g)
+
+let test_graph_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self-loop")
+    (fun () -> ignore (G.create ~n:2 ~edges:[ (1, 1) ]))
+
+let test_graph_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.create: vertex 5 out of range [0,3)") (fun () ->
+      ignore (G.create ~n:3 ~edges:[ (0, 5) ]))
+
+let test_graph_neighbors_sorted () =
+  let g = G.create ~n:4 ~edges:[ (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.check (Alcotest.array Alcotest.int) "sorted" [| 0; 1; 3 |]
+    (G.neighbors g 2)
+
+let test_graph_degree_mem () =
+  checki "degree mid" 2 (G.degree path5 1);
+  checki "degree end" 1 (G.degree path5 0);
+  checkb "mem" true (G.mem_edge path5 2 1);
+  checkb "mem sym" true (G.mem_edge path5 1 2);
+  checkb "no edge" false (G.mem_edge path5 0 2);
+  checkb "no self edge" false (G.mem_edge path5 2 2)
+
+let test_graph_edges_canonical () =
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "canonical" [ (0, 1); (1, 2); (2, 3); (3, 4) ] (G.edges path5)
+
+let test_graph_max_closed_degree () =
+  checki "path" 3 (G.max_closed_degree path5);
+  checki "empty graph" 1 (G.max_closed_degree (G.empty 4));
+  checki "zero vertices" 0 (G.max_closed_degree (G.empty 0));
+  let star = G.create ~n:5 ~edges:[ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  checki "star hub" 5 (G.max_closed_degree star)
+
+let test_graph_subgraph () =
+  let sub = G.create ~n:5 ~edges:[ (1, 2) ] in
+  checkb "is subgraph" true (G.is_subgraph sub path5);
+  checkb "not subgraph" false (G.is_subgraph path5 sub);
+  checkb "size mismatch" false (G.is_subgraph (G.empty 3) path5)
+
+let test_graph_union () =
+  let a = G.create ~n:3 ~edges:[ (0, 1) ] in
+  let b = G.create ~n:3 ~edges:[ (1, 2) ] in
+  checki "union edges" 2 (G.edge_count (G.union a b))
+
+let test_graph_bfs () =
+  let d = G.bfs_distances path5 0 in
+  Alcotest.check (Alcotest.array Alcotest.int) "distances" [| 0; 1; 2; 3; 4 |] d;
+  let disconnected = G.create ~n:3 ~edges:[ (0, 1) ] in
+  checki "unreachable" max_int (G.bfs_distances disconnected 0).(2)
+
+let test_graph_connectivity () =
+  checkb "path connected" true (G.is_connected path5);
+  checkb "empty n=1" true (G.is_connected (G.empty 1));
+  checkb "empty n=0" true (G.is_connected (G.empty 0));
+  checkb "disconnected" false (G.is_connected (G.empty 2))
+
+let test_graph_diameter () =
+  checki "path diameter" 4 (G.diameter path5);
+  let k3 = G.create ~n:3 ~edges:[ (0, 1); (1, 2); (0, 2) ] in
+  checki "clique diameter" 1 (G.diameter k3);
+  checki "single" 0 (G.diameter (G.empty 1));
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Graph.diameter: disconnected graph") (fun () ->
+      ignore (G.diameter (G.empty 2)))
+
+(* --- Embedding --- *)
+
+let test_embedding_distance () =
+  let p = { E.x = 0.0; y = 0.0 } and q = { E.x = 3.0; y = 4.0 } in
+  Alcotest.check (Alcotest.float 1e-9) "3-4-5" 5.0 (E.distance p q);
+  let emb = E.create [| p; q |] in
+  Alcotest.check (Alcotest.float 1e-9) "vertex distance" 5.0 (E.vertex_distance emb 0 1);
+  checki "n" 2 (E.n emb)
+
+(* --- Dual --- *)
+
+let test_dual_subset_enforced () =
+  let g = G.create ~n:2 ~edges:[ (0, 1) ] in
+  let g' = G.empty 2 in
+  Alcotest.check_raises "E ⊆ E'" (Invalid_argument "Dual.create: E is not a subset of E'")
+    (fun () -> ignore (Dual.create ~g ~g' ()))
+
+let test_dual_degrees () =
+  let dual = Geo.clique 6 in
+  checki "delta" 6 (Dual.delta dual);
+  checki "delta'" 6 (Dual.delta' dual);
+  checki "n" 6 (Dual.n dual)
+
+let test_dual_unreliable_edges () =
+  let dual = Geo.line ~n:3 ~spacing:0.9 ~r:2.0 () in
+  (* consecutive reliable; two-hop (distance 1.8 ≤ 2) unreliable *)
+  checki "one unreliable edge" 1 (Array.length (Dual.unreliable_edges dual));
+  checkb "it is the 2-hop pair" true (Dual.unreliable_edges dual = [| (0, 2) |])
+
+let test_dual_geographic_validation () =
+  (* Two points at distance 0.5 with no reliable edge: invalid. *)
+  let emb = E.create [| { E.x = 0.0; y = 0.0 }; { E.x = 0.5; y = 0.0 } |] in
+  let g = G.empty 2 in
+  Alcotest.check_raises "close pair needs G edge"
+    (Invalid_argument "Dual.create: embedding violates the r-geographic property")
+    (fun () -> ignore (Dual.create ~embedding:emb ~g ~g':g ()))
+
+let test_dual_distant_unreliable_invalid () =
+  (* Edge in G' between points at distance > r: invalid. *)
+  let emb = E.create [| { E.x = 0.0; y = 0.0 }; { E.x = 5.0; y = 0.0 } |] in
+  let g = G.empty 2 in
+  let g' = G.create ~n:2 ~edges:[ (0, 1) ] in
+  Alcotest.check_raises "distant pair cannot be in G'"
+    (Invalid_argument "Dual.create: embedding violates the r-geographic property")
+    (fun () -> ignore (Dual.create ~embedding:emb ~r:1.5 ~g ~g' ()))
+
+let test_dual_is_r_geographic () =
+  let dual = Geo.line ~n:4 () in
+  checkb "generator output is r-geographic" true (Dual.is_r_geographic dual);
+  let bare = Dual.create ~g:(G.empty 2) ~g':(G.empty 2) () in
+  checkb "no embedding: not checkable" false (Dual.is_r_geographic bare)
+
+(* --- Generators --- *)
+
+let test_clique_structure () =
+  let dual = Geo.clique 5 in
+  checki "complete G" 10 (G.edge_count (Dual.g dual));
+  checki "G' = G" 10 (G.edge_count (Dual.g' dual));
+  checkb "r-geographic" true (Dual.is_r_geographic dual)
+
+let test_line_structure () =
+  let dual = Geo.line ~n:4 ~spacing:0.9 ~r:1.0 () in
+  checki "chain edges" 3 (G.edge_count (Dual.g dual));
+  checki "no unreliable" 0 (Array.length (Dual.unreliable_edges dual));
+  let dual2 = Geo.line ~n:4 ~spacing:0.9 ~r:2.0 () in
+  checki "two-hop grey edges" 2 (Array.length (Dual.unreliable_edges dual2))
+
+let test_pair_singleton () =
+  let p = Geo.pair () in
+  checki "pair edge" 1 (G.edge_count (Dual.g p));
+  let s = Geo.singleton () in
+  checki "singleton" 1 (Dual.n s);
+  checki "no edges" 0 (G.edge_count (Dual.g' s))
+
+let test_gray_cluster_structure () =
+  let k = 6 in
+  let dual = Geo.gray_cluster ~k ~r:1.5 () in
+  checki "n" (k + 2) (Dual.n dual);
+  checkb "u-v reliable" true (G.mem_edge (Dual.g dual) 0 1);
+  for i = 2 to k + 1 do
+    checkb "u-grey unreliable" true
+      (G.mem_edge (Dual.g' dual) 0 i && not (G.mem_edge (Dual.g dual) 0 i));
+    checkb "v-grey absent" false (G.mem_edge (Dual.g' dual) 1 i)
+  done;
+  checkb "grey clique" true (G.mem_edge (Dual.g dual) 2 3);
+  checkb "r-geographic" true (Dual.is_r_geographic dual);
+  Alcotest.check_raises "small r rejected"
+    (Invalid_argument "Geometric.gray_cluster: requires r >= 1.41") (fun () ->
+      ignore (Geo.gray_cluster ~k:2 ~r:1.0 ()))
+
+let test_star_unembedded () =
+  let dual = Geo.star_unembedded ~leaves:7 in
+  checki "hub degree" 7 (G.degree (Dual.g dual) 0);
+  checki "delta" 8 (Dual.delta dual)
+
+let test_grid_structure () =
+  let dual = Geo.grid ~rows:3 ~cols:3 ~spacing:1.0 ~r:1.5 () in
+  checki "n" 9 (Dual.n dual);
+  (* orthogonal neighbors at distance 1.0 are reliable *)
+  checkb "orthogonal reliable" true (G.mem_edge (Dual.g dual) 0 1);
+  (* diagonal at √2 ≈ 1.414 ≤ 1.5 is grey-zone: unreliable *)
+  checkb "diagonal unreliable" true
+    (G.mem_edge (Dual.g' dual) 0 4 && not (G.mem_edge (Dual.g dual) 0 4));
+  checkb "r-geographic" true (Dual.is_r_geographic dual)
+
+let test_dense_disk () =
+  let rng = Rng.of_int 3 in
+  let dual = Geo.dense_disk ~rng ~n:12 in
+  checki "clique edges" (12 * 11 / 2) (G.edge_count (Dual.g dual));
+  checki "delta" 12 (Dual.delta dual)
+
+let test_random_field_deterministic () =
+  let mk seed =
+    Geo.random_field ~rng:(Rng.of_int seed) ~n:25 ~width:4.0 ~height:4.0 ~r:1.5 ()
+  in
+  let a = mk 9 and b = mk 9 in
+  checki "same edge count" (G.edge_count (Dual.g' a)) (G.edge_count (Dual.g' b));
+  checkb "same edges" true (G.edges (Dual.g a) = G.edges (Dual.g b))
+
+let test_cluster_field () =
+  let rng = Rng.of_int 12 in
+  let dual =
+    Geo.cluster_field ~rng ~clusters:3 ~per_cluster:5 ~field:6.0 ~r:1.5 ()
+  in
+  checki "n" 15 (Dual.n dual);
+  (* each cluster is co-located within spread 0.3 < 1: a reliable clique *)
+  for c = 0 to 2 do
+    for i = 0 to 4 do
+      for j = i + 1 to 4 do
+        checkb "intra-cluster reliable" true
+          (G.mem_edge (Dual.g dual) ((c * 5) + i) ((c * 5) + j))
+      done
+    done
+  done
+
+(* --- Region partition --- *)
+
+let region_fixture () =
+  let rng = Rng.of_int 21 in
+  let dual =
+    Geo.random_field ~rng ~n:60 ~width:5.0 ~height:5.0 ~r:1.5 ~gray_g':0.7 ()
+  in
+  (dual, Region.of_dual dual)
+
+let test_region_requires_embedding () =
+  let bare = Dual.create ~g:(G.empty 2) ~g':(G.empty 2) () in
+  Alcotest.check_raises "no embedding"
+    (Invalid_argument "Region.of_dual: dual graph has no embedding") (fun () ->
+      ignore (Region.of_dual bare))
+
+let test_region_members_partition () =
+  let dual, regions = region_fixture () in
+  let n = Dual.n dual in
+  let seen = Array.make n 0 in
+  for x = 0 to Region.region_count regions - 1 do
+    Array.iter (fun v -> seen.(v) <- seen.(v) + 1) (Region.members regions x)
+  done;
+  Array.iteri (fun v c -> checki (Printf.sprintf "vertex %d once" v) 1 c) seen
+
+let test_region_members_close () =
+  (* Any two members of one region are within distance 1 (region side 1/2),
+     hence reliable neighbors — the Lemma A.3 ingredient. *)
+  let dual, regions = region_fixture () in
+  let emb = Option.get (Dual.embedding dual) in
+  for x = 0 to Region.region_count regions - 1 do
+    let m = Region.members regions x in
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if u <> v then begin
+              checkb "within unit distance" true (E.vertex_distance emb u v <= 1.0);
+              checkb "reliable neighbors" true (G.mem_edge (Dual.g dual) u v)
+            end)
+          m)
+      m
+  done
+
+let test_region_vertex_consistency () =
+  let _, regions = region_fixture () in
+  for x = 0 to Region.region_count regions - 1 do
+    Array.iter
+      (fun v -> checki "member maps back" x (Region.region_of_vertex regions v))
+      (Region.members regions x)
+  done
+
+let test_region_neighbors_symmetric () =
+  let _, regions = region_fixture () in
+  for x = 0 to Region.region_count regions - 1 do
+    List.iter
+      (fun y ->
+        checkb "symmetric" true (List.mem x (Region.region_neighbors regions y)))
+      (Region.region_neighbors regions x)
+  done
+
+let test_regions_within () =
+  let _, regions = region_fixture () in
+  let x = 0 in
+  Alcotest.check (Alcotest.list Alcotest.int) "h=0 is self" [ x ]
+    (Region.regions_within regions x 0);
+  let h1 = Region.regions_within regions x 1 in
+  checkb "h=1 contains self" true (List.mem x h1);
+  List.iter
+    (fun y -> checkb "h=1 contains neighbor" true (List.mem y h1))
+    (Region.region_neighbors regions x);
+  let counts =
+    List.map (fun h -> List.length (Region.regions_within regions x h)) [ 0; 1; 2; 3 ]
+  in
+  checkb "monotone growth" true
+    (List.for_all2 ( <= ) counts (List.tl counts @ [ max_int ]))
+
+let test_region_f_bounded () =
+  (* Lemma A.2 shape: regions within h hops grow at most quadratically —
+     each hop reaches at most distance r + diag, so the h-ball fits in a
+     disk of radius h·(r + 1) and holds ≤ c·r²·(h+1)² half-unit squares. *)
+  let dual, regions = region_fixture () in
+  let r = Dual.r dual in
+  for h = 0 to 3 do
+    let count = List.length (Region.regions_within regions 0 h) in
+    let bound =
+      int_of_float
+        (Float.ceil (16.0 *. (r +. 1.0) *. (r +. 1.0))
+        *. float_of_int ((h + 1) * (h + 1)))
+    in
+    checkb (Printf.sprintf "f-bounded at h=%d" h) true (count <= bound)
+  done
+
+let test_region_max_members_le_delta () =
+  let dual, regions = region_fixture () in
+  checkb "max region size <= Δ (Lemma A.3)" true
+    (Region.max_members regions <= Dual.delta dual)
+
+(* --- qcheck properties --- *)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"random_field is r-geographic" ~count:25
+      (pair (int_range 0 40) small_int)
+      (fun (n, seed) ->
+        let rng = Rng.of_int seed in
+        let dual =
+          Geo.random_field ~rng ~n ~width:4.0 ~height:4.0 ~r:1.5 ~gray_g':0.5
+            ~gray_g:0.2 ()
+        in
+        Dual.is_r_geographic dual);
+    Test.make ~name:"random_field has E ⊆ E'" ~count:25
+      (pair (int_range 0 40) small_int)
+      (fun (n, seed) ->
+        let rng = Rng.of_int seed in
+        let dual = Geo.random_field ~rng ~n ~width:4.0 ~height:4.0 ~r:1.5 () in
+        G.is_subgraph (Dual.g dual) (Dual.g' dual));
+    Test.make ~name:"delta' bounds delta" ~count:25
+      (pair (int_range 1 40) small_int)
+      (fun (n, seed) ->
+        let rng = Rng.of_int seed in
+        let dual = Geo.random_field ~rng ~n ~width:4.0 ~height:4.0 ~r:1.5 () in
+        Dual.delta dual <= Dual.delta' dual);
+    Test.make ~name:"Lemma A.3 shape: delta' bounded by a geometric multiple of delta"
+      ~count:25
+      (pair (int_range 1 40) small_int)
+      (fun (n, seed) ->
+        (* Lemma A.3: delta' <= c_r * delta with c_r = c1 r^2; our grid
+           partition gives the generous concrete bound 4 (r + 1)^2. *)
+        let rng = Rng.of_int seed in
+        let dual =
+          Geo.random_field ~rng ~n ~width:4.0 ~height:4.0 ~r:1.5 ~gray_g':1.0 ()
+        in
+        let r = Dual.r dual in
+        let c_r = 4.0 *. (r +. 1.0) *. (r +. 1.0) in
+        float_of_int (Dual.delta' dual) <= c_r *. float_of_int (Dual.delta dual));
+    Test.make ~name:"region partition covers all vertices" ~count:20
+      (pair (int_range 1 40) small_int)
+      (fun (n, seed) ->
+        let rng = Rng.of_int seed in
+        let dual = Geo.random_field ~rng ~n ~width:4.0 ~height:4.0 ~r:1.5 () in
+        let regions = Region.of_dual dual in
+        let total =
+          List.fold_left
+            (fun acc x -> acc + Array.length (Region.members regions x))
+            0
+            (List.init (Region.region_count regions) Fun.id)
+        in
+        total = n);
+  ]
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("graph dedupe", test_graph_dedupe);
+      ("graph self loop", test_graph_self_loop);
+      ("graph out of range", test_graph_out_of_range);
+      ("graph neighbors sorted", test_graph_neighbors_sorted);
+      ("graph degree/mem", test_graph_degree_mem);
+      ("graph edges canonical", test_graph_edges_canonical);
+      ("graph max closed degree", test_graph_max_closed_degree);
+      ("graph subgraph", test_graph_subgraph);
+      ("graph union", test_graph_union);
+      ("graph bfs", test_graph_bfs);
+      ("graph connectivity", test_graph_connectivity);
+      ("graph diameter", test_graph_diameter);
+      ("embedding distance", test_embedding_distance);
+      ("dual subset enforced", test_dual_subset_enforced);
+      ("dual degrees", test_dual_degrees);
+      ("dual unreliable edges", test_dual_unreliable_edges);
+      ("dual geographic validation", test_dual_geographic_validation);
+      ("dual distant unreliable invalid", test_dual_distant_unreliable_invalid);
+      ("dual is_r_geographic", test_dual_is_r_geographic);
+      ("clique structure", test_clique_structure);
+      ("line structure", test_line_structure);
+      ("pair/singleton", test_pair_singleton);
+      ("gray cluster structure", test_gray_cluster_structure);
+      ("star unembedded", test_star_unembedded);
+      ("grid structure", test_grid_structure);
+      ("dense disk", test_dense_disk);
+      ("random field deterministic", test_random_field_deterministic);
+      ("cluster field", test_cluster_field);
+      ("region requires embedding", test_region_requires_embedding);
+      ("region members partition", test_region_members_partition);
+      ("region members close", test_region_members_close);
+      ("region vertex consistency", test_region_vertex_consistency);
+      ("region neighbors symmetric", test_region_neighbors_symmetric);
+      ("regions within", test_regions_within);
+      ("region f-bounded", test_region_f_bounded);
+      ("region size vs delta", test_region_max_members_le_delta);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases

@@ -1,0 +1,178 @@
+(* Property-based tests of the engine's collision semantics: on random
+   topologies with random transmission patterns, re-derive every delivery
+   from first principles and compare. *)
+
+open Core
+
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Engine = Radiosim.Engine
+module Trace = Radiosim.Trace
+module P = Radiosim.Process
+module M = Localcast.Messages
+module Rng = Prng.Rng
+
+(* One random configuration: topology, Bernoulli scheduler, nodes that
+   transmit i.i.d. with probability 0.3.  Returns the recorded trace plus
+   everything needed to recheck it. *)
+let random_execution seed =
+  let rng = Rng.of_int seed in
+  let n = 3 + Rng.int rng 25 in
+  let dual =
+    Geo.random_field ~rng ~n ~width:3.5 ~height:3.5 ~r:1.5 ~gray_g':0.6 ()
+  in
+  let scheduler = Sch.bernoulli ~seed ~p:0.4 in
+  let nodes =
+    Array.init n (fun src ->
+        let node_rng = Rng.split rng in
+        {
+          P.decide =
+            (fun ~round:_ _ ->
+              if Rng.bernoulli node_rng 0.3 then
+                P.Transmit (M.Data (M.payload ~src ~uid:0 ()))
+              else P.Listen);
+          absorb = (fun ~round:_ _ -> []);
+        })
+  in
+  let trace, observer = Trace.recorder () in
+  let (_ : int) =
+    Engine.run ~observer ~dual ~scheduler ~nodes
+      ~env:(Radiosim.Env.null ~name:"prop" ())
+      ~rounds:30 ()
+  in
+  (dual, scheduler, trace)
+
+(* Reference model of the collision rule, written independently of the
+   engine: u receives m from v iff u listens, v transmits m, and v is the
+   only transmitter among u's topology-neighbors this round. *)
+let expected_delivery ~dual ~scheduler ~record u =
+  match record.Trace.actions.(u) with
+  | P.Transmit _ -> None
+  | P.Listen ->
+      let transmitting =
+        Array.map
+          (function P.Transmit _ -> true | P.Listen -> false)
+          record.Trace.actions
+      in
+      let counts =
+        Engine.transmitter_counts ~dual ~scheduler ~round:record.Trace.round
+          ~transmitting
+      in
+      if counts.(u) <> 1 then None
+      else begin
+        (* find the unique transmitting topology-neighbor *)
+        let result = ref None in
+        Array.iter
+          (fun v ->
+            if transmitting.(v) then
+              match record.Trace.actions.(v) with
+              | P.Transmit m -> result := Some m
+              | P.Listen -> ())
+          (Dual.reliable_neighbors dual u);
+        Array.iteri
+          (fun edge (a, b) ->
+            if Sch.active scheduler ~round:record.Trace.round ~edge then begin
+              let consider x y =
+                if x = u && transmitting.(y) then
+                  match record.Trace.actions.(y) with
+                  | P.Transmit m -> result := Some m
+                  | P.Listen -> ()
+              in
+              consider a b;
+              consider b a
+            end)
+          (Dual.unreliable_edges dual);
+        !result
+      end
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"engine matches the reference collision rule" ~count:40
+      small_int
+      (fun seed ->
+        let dual, scheduler, trace = random_execution seed in
+        let ok = ref true in
+        Trace.iter
+          (fun record ->
+            for u = 0 to Dual.n dual - 1 do
+              let expected = expected_delivery ~dual ~scheduler ~record u in
+              if record.Trace.delivered.(u) <> expected then ok := false
+            done)
+          trace;
+        !ok);
+    Test.make ~name:"delivered messages were transmitted by a G'-neighbor"
+      ~count:40 small_int
+      (fun seed ->
+        let dual, _, trace = random_execution seed in
+        let ok = ref true in
+        Trace.iter
+          (fun record ->
+            Array.iteri
+              (fun u delivered ->
+                match delivered with
+                | Some (M.Data p) ->
+                    let src = p.M.src in
+                    let is_neighbor =
+                      Array.exists (( = ) src) (Dual.all_neighbors dual u)
+                    in
+                    let src_transmitted =
+                      match record.Trace.actions.(src) with
+                      | P.Transmit _ -> true
+                      | P.Listen -> false
+                    in
+                    if not (is_neighbor && src_transmitted) then ok := false
+                | Some (M.Seed_msg _) | None -> ())
+              record.Trace.delivered)
+          trace;
+        !ok);
+    Test.make ~name:"transmitters never receive" ~count:40 small_int
+      (fun seed ->
+        let dual, _, trace = random_execution seed in
+        let ok = ref true in
+        Trace.iter
+          (fun record ->
+            Array.iteri
+              (fun u action ->
+                match (action, record.Trace.delivered.(u)) with
+                | P.Transmit _, Some _ -> ok := false
+                | _ -> ())
+              record.Trace.actions)
+          trace;
+        ignore dual;
+        !ok);
+    Test.make ~name:"reliable-only delivery is a lower bound" ~count:25
+      small_int
+      (fun seed ->
+        (* Removing unreliable links can only remove contention from G
+           deliveries: any round where a node has exactly one reliable
+           transmitting neighbor and no scheduler, it receives. *)
+        let dual, _, _ = random_execution seed in
+        let n = Dual.n dual in
+        let nodes =
+          Array.init n (fun src ->
+              if src = 0 then P.silent ()
+              else
+                {
+                  P.decide =
+                    (fun ~round:_ _ ->
+                      if src = 1 then P.Transmit (M.Data (M.payload ~src ~uid:0 ()))
+                      else P.Listen);
+                  absorb = (fun ~round:_ _ -> []);
+                })
+        in
+        let trace, observer = Trace.recorder () in
+        let (_ : int) =
+          Engine.run ~observer ~dual ~scheduler:Sch.reliable_only ~nodes
+            ~env:(Radiosim.Env.null ~name:"prop" ())
+            ~rounds:1 ()
+        in
+        let record = Trace.get trace 0 in
+        let should_receive =
+          n > 1 && Array.exists (( = ) 1) (Dual.reliable_neighbors dual 0)
+        in
+        (record.Trace.delivered.(0) <> None) = should_receive);
+  ]
+
+let suite = List.map QCheck_alcotest.to_alcotest qcheck_cases

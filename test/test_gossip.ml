@@ -1,0 +1,83 @@
+(* Tests for the gossip seed-agreement baseline. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module M = Localcast.Messages
+module Gossip = Baseline.Gossip_seed
+module Rng = Prng.Rng
+
+let run ~dual ~rounds ~p ~seed =
+  let n = Dual.n dual in
+  let nodes = Gossip.network ~rounds ~p ~kappa:8 ~rng:(Rng.of_int seed) ~n in
+  let trace, observer = Radiosim.Trace.recorder () in
+  let (_ : int) =
+    Radiosim.Engine.run ~observer ~dual ~scheduler:Sch.reliable_only ~nodes
+      ~env:(Radiosim.Env.null ~name:"gossip" ())
+      ~rounds ()
+  in
+  Localcast.Seed_spec.decisions_of_trace trace ~n
+
+let test_validation () =
+  Alcotest.check_raises "rounds" (Invalid_argument "Gossip_seed.node: rounds must be >= 1")
+    (fun () -> ignore (Gossip.node ~rounds:0 ~p:0.5 ~kappa:8 ~id:0 ~rng:(Rng.of_int 1)));
+  Alcotest.check_raises "kappa" (Invalid_argument "Gossip_seed.node: kappa must be >= 1")
+    (fun () -> ignore (Gossip.node ~rounds:5 ~p:0.5 ~kappa:0 ~id:0 ~rng:(Rng.of_int 1)))
+
+let test_well_formed_and_consistent () =
+  let dual = Geo.clique 8 in
+  let decisions = run ~dual ~rounds:100 ~p:0.125 ~seed:2 in
+  let report =
+    Localcast.Seed_spec.check ~dual ~delta_bound:1000 ~decisions
+  in
+  checkb "well-formed" true report.Localcast.Seed_spec.well_formed;
+  checkb "consistent" true report.Localcast.Seed_spec.consistent
+
+let test_decides_exactly_at_deadline () =
+  let dual = Geo.singleton () in
+  let decisions = run ~dual ~rounds:17 ~p:0.5 ~seed:3 in
+  (match decisions.(0) with
+  | [ (round, { M.owner; _ }) ] ->
+      checki "decide round" 16 round;
+      checki "own seed for isolated node" 0 owner
+  | _ -> Alcotest.fail "expected exactly one decision")
+
+let test_converges_to_min_on_clique () =
+  (* With ample rounds, every node should adopt node 0's seed. *)
+  let dual = Geo.clique 6 in
+  let decisions = run ~dual ~rounds:400 ~p:(1.0 /. 6.0) ~seed:4 in
+  let owners = Localcast.Seed_spec.owners ~decisions in
+  Alcotest.check (Alcotest.array Alcotest.int) "all commit to min id"
+    (Array.make 6 0) owners
+
+let test_no_convergence_without_time () =
+  (* With a single round almost surely nothing is heard: everyone keeps
+     its own seed. *)
+  let dual = Geo.clique 6 in
+  let decisions = run ~dual ~rounds:1 ~p:0.0 ~seed:5 in
+  let owners = Localcast.Seed_spec.owners ~decisions in
+  Alcotest.check (Alcotest.array Alcotest.int) "own ids" [| 0; 1; 2; 3; 4; 5 |] owners
+
+let test_min_relays_across_hops () =
+  (* On a line, the min id must cross multiple hops by relay — something
+     the one-shot announcements of SeedAlg never do. *)
+  let dual = Geo.line ~n:5 ~spacing:0.9 () in
+  let decisions = run ~dual ~rounds:600 ~p:0.3 ~seed:6 in
+  let owners = Localcast.Seed_spec.owners ~decisions in
+  checki "far end adopted the global min" 0 owners.(4)
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("validation", test_validation);
+      ("well-formed and consistent", test_well_formed_and_consistent);
+      ("decides exactly at deadline", test_decides_exactly_at_deadline);
+      ("converges to min on clique", test_converges_to_min_on_clique);
+      ("no convergence without time", test_no_convergence_without_time);
+      ("min relays across hops", test_min_relays_across_hops);
+    ]

@@ -1,0 +1,170 @@
+(* Tests for the region-level SeedAlg probe (Appendix B instrumentation). *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Region = Dualgraph.Region
+module Sch = Radiosim.Scheduler
+module Params = Localcast.Params
+module Probe = Localcast.Seed_probe
+module Rng = Prng.Rng
+
+let run_probe ?(eps = 0.1) ?(seed = 11) dual =
+  let params = Params.make_seed ~eps ~delta:(Dual.delta dual) ~kappa:16 () in
+  let probe = Probe.create params ~dual ~rng:(Rng.of_int seed) in
+  let (_ : int) =
+    Radiosim.Engine.run ~dual
+      ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+      ~nodes:(Probe.nodes probe)
+      ~env:(Radiosim.Env.null ~name:"probe" ())
+      ~rounds:(Params.seed_duration params)
+      ()
+  in
+  (params, probe)
+
+let field seed =
+  Geo.random_field ~rng:(Rng.of_int seed) ~n:50 ~width:4.0 ~height:4.0 ~r:1.5
+    ~gray_g':0.5 ()
+
+let test_requires_embedding () =
+  let g = Dualgraph.Graph.empty 2 in
+  let dual = Dual.create ~g ~g':g () in
+  let params = Params.make_seed ~eps:0.1 ~delta:1 ~kappa:4 () in
+  Alcotest.check_raises "no embedding"
+    (Invalid_argument "Region.of_dual: dual graph has no embedding") (fun () ->
+      ignore (Probe.create params ~dual ~rng:(Rng.of_int 1)))
+
+let test_snapshot_per_phase () =
+  let dual = field 1 in
+  let params, probe = run_probe dual in
+  checki "one snapshot per phase" params.Params.phases
+    (List.length (Probe.snapshots probe));
+  List.iteri
+    (fun i s -> checki "phases in order" (i + 1) s.Probe.phase)
+    (Probe.snapshots probe)
+
+let test_election_probabilities () =
+  let dual = field 2 in
+  let params, probe = run_probe dual in
+  List.iter
+    (fun s ->
+      let expected =
+        1.0 /. float_of_int (1 lsl (params.Params.phases - s.Probe.phase + 1))
+      in
+      Alcotest.check (Alcotest.float 1e-12) "p_h" expected s.Probe.election_prob)
+    (Probe.snapshots probe);
+  (* last phase elects with probability 1/2 *)
+  let last = List.nth (Probe.snapshots probe) (params.Params.phases - 1) in
+  Alcotest.check (Alcotest.float 1e-12) "final phase 1/2" 0.5 last.Probe.election_prob
+
+let test_lemma_b2_phase_one_good () =
+  (* Lemma B.2: every region is good in phase 1 — indeed P_{x,1} =
+     a_{x,1}/Δ <= 1 since a region holds at most Δ mutually-reliable
+     nodes. *)
+  List.iter
+    (fun seed ->
+      let dual = field seed in
+      let _, probe = run_probe ~seed dual in
+      match Probe.snapshots probe with
+      | first :: _ ->
+          for x = 0 to Region.region_count (Probe.regions probe) - 1 do
+            checkb "P_{x,1} <= 1" true (Probe.cumulative_probability first x <= 1.0)
+          done
+      | [] -> Alcotest.fail "no snapshots")
+    [ 3; 4; 5 ]
+
+let test_active_counts_non_increasing () =
+  let dual = field 6 in
+  let _, probe = run_probe ~seed:6 dual in
+  let snapshots = Probe.snapshots probe in
+  List.iter2
+    (fun a b ->
+      Array.iteri
+        (fun x a_count ->
+          checkb "a_{x,h} non-increasing" true (b.Probe.active_per_region.(x) <= a_count))
+        a.Probe.active_per_region)
+    (List.filteri (fun i _ -> i < List.length snapshots - 1) snapshots)
+    (List.tl snapshots)
+
+let test_leaders_bounded_by_active () =
+  let dual = field 7 in
+  let _, probe = run_probe ~seed:7 dual in
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun x l ->
+          checkb "l_{x,h} <= a_{x,h}" true (l <= s.Probe.active_per_region.(x)))
+        s.Probe.leaders_per_region)
+    (Probe.snapshots probe)
+
+let test_goodness_preserved_empirically () =
+  (* Lemma B.8's empirical shape: across trials, regions stay good in
+     every phase (with the generous c2 = 4 the paper assumes). *)
+  let bad = ref 0 and total = ref 0 in
+  List.iter
+    (fun seed ->
+      let dual = field (100 + seed) in
+      let params, probe = run_probe ~seed:(100 + seed) dual in
+      List.iter
+        (fun s ->
+          for x = 0 to Region.region_count (Probe.regions probe) - 1 do
+            incr total;
+            if not (Probe.is_good ~eps:params.Params.seed_eps ~c2:4.0 s x) then
+              incr bad
+          done)
+        (Probe.snapshots probe))
+    [ 1; 2; 3; 4; 5 ];
+  checkb "goodness violations are rare" true
+    (float_of_int !bad /. float_of_int (max 1 !total) < 0.01)
+
+let test_total_leaders_bounded () =
+  (* Lemma B.4's shape: the total number of leaders a region ever elects
+     stays O(log(1/eps)) — use a generous 4·log2(1/eps) cap. *)
+  let dual = field 8 in
+  let params, probe = run_probe ~seed:8 dual in
+  let cap =
+    int_of_float
+      (Float.ceil (4.0 *. (log (1.0 /. params.Params.seed_eps) /. log 2.0)))
+  in
+  Array.iter
+    (fun total -> checkb "region leader total bounded" true (total <= cap))
+    (Probe.total_leaders_per_region probe)
+
+let test_probe_decisions_still_valid () =
+  (* The probe must not perturb the algorithm: the probed network still
+     satisfies the Seed spec. *)
+  let dual = field 9 in
+  let params = Params.make_seed ~eps:0.1 ~delta:(Dual.delta dual) ~kappa:16 () in
+  let probe = Probe.create params ~dual ~rng:(Rng.of_int 9) in
+  let trace, observer = Radiosim.Trace.recorder () in
+  let (_ : int) =
+    Radiosim.Engine.run ~observer ~dual
+      ~scheduler:(Sch.bernoulli ~seed:9 ~p:0.5)
+      ~nodes:(Probe.nodes probe)
+      ~env:(Radiosim.Env.null ~name:"probe" ())
+      ~rounds:(Params.seed_duration params)
+      ()
+  in
+  let decisions = Localcast.Seed_spec.decisions_of_trace trace ~n:(Dual.n dual) in
+  let report = Localcast.Seed_spec.check ~dual ~delta_bound:30 ~decisions in
+  checkb "well-formed" true report.Localcast.Seed_spec.well_formed;
+  checkb "consistent" true report.Localcast.Seed_spec.consistent;
+  checki "agreement clean" 0 report.Localcast.Seed_spec.violation_count
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("requires embedding", test_requires_embedding);
+      ("snapshot per phase", test_snapshot_per_phase);
+      ("election probabilities", test_election_probabilities);
+      ("lemma B.2: phase 1 good", test_lemma_b2_phase_one_good);
+      ("active counts non-increasing", test_active_counts_non_increasing);
+      ("leaders bounded by active", test_leaders_bounded_by_active);
+      ("goodness preserved", test_goodness_preserved_empirically);
+      ("total leaders bounded", test_total_leaders_bounded);
+      ("probe preserves spec", test_probe_decisions_still_valid);
+    ]

@@ -1,0 +1,177 @@
+(* Tests for topology serialization (Dualgraph.Io), ASCII rendering
+   (Dualgraph.Render) and the ring/corridor generators. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module G = Dualgraph.Graph
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Io = Dualgraph.Io
+module Render = Dualgraph.Render
+module Rng = Prng.Rng
+
+let same_dual a b =
+  Dual.n a = Dual.n b
+  && G.edges (Dual.g a) = G.edges (Dual.g b)
+  && G.edges (Dual.g' a) = G.edges (Dual.g' b)
+  && Dual.r a = Dual.r b
+
+(* --- Io --- *)
+
+let test_roundtrip_embedded () =
+  let dual =
+    Geo.random_field ~rng:(Rng.of_int 1) ~n:20 ~width:3.0 ~height:3.0 ~r:1.5
+      ~gray_g':0.5 ()
+  in
+  let copy = Io.of_string (Io.to_string dual) in
+  checkb "graphs preserved" true (same_dual dual copy);
+  checkb "embedding preserved" true (Dual.is_r_geographic copy)
+
+let test_roundtrip_bare () =
+  let g = G.create ~n:3 ~edges:[ (0, 1) ] in
+  let g' = G.create ~n:3 ~edges:[ (0, 1); (1, 2) ] in
+  let dual = Dual.create ~g ~g' () in
+  let copy = Io.of_string (Io.to_string dual) in
+  checkb "graphs preserved" true (same_dual dual copy);
+  checkb "no embedding" true (Dual.embedding copy = None)
+
+let test_parse_with_comments () =
+  let text =
+    "# a hand-written topology\n\
+     dualgraph v1\n\
+     n 2\n\
+     r 1.00\n\
+     edge g 0 1   # the only link\n\n"
+  in
+  let dual = Io.of_string text in
+  checki "n" 2 (Dual.n dual);
+  checkb "edge" true (G.mem_edge (Dual.g dual) 0 1)
+
+let test_parse_errors () =
+  let expect_invalid name text =
+    match Io.of_string text with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "missing header" "n 2\n";
+  expect_invalid "missing n" "dualgraph v1\nedge g 0 1\n";
+  expect_invalid "garbage record" "dualgraph v1\nn 2\nfrobnicate\n";
+  expect_invalid "bad integer" "dualgraph v1\nn two\n";
+  expect_invalid "partial points" "dualgraph v1\nn 2\npoint 0 0.0 0.0\n";
+  expect_invalid "duplicate point"
+    "dualgraph v1\nn 1\npoint 0 0.0 0.0\npoint 0 1.0 1.0\n";
+  (* structural validation still applies: unreliable edge over distance > r *)
+  expect_invalid "invalid geometry"
+    "dualgraph v1\nn 2\nr 1.0\npoint 0 0.0 0.0\npoint 1 5.0 0.0\nedge u 0 1\n"
+
+let test_save_load () =
+  let dual = Geo.line ~n:4 ~spacing:0.9 ~r:2.0 () in
+  let filename = Filename.temp_file "dualgraph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove filename)
+    (fun () ->
+      Io.save dual ~filename;
+      let copy = Io.load filename in
+      checkb "file roundtrip" true (same_dual dual copy))
+
+(* --- Render --- *)
+
+let test_render_field () =
+  let dual = Geo.grid ~rows:3 ~cols:5 ~spacing:1.0 ~r:1.0 () in
+  let sketch = Render.field ~columns:20 dual in
+  let node_cells =
+    String.fold_left
+      (fun acc ch -> if ch >= '1' && ch <= '9' then acc + Char.code ch - Char.code '0' else acc)
+      0 sketch
+  in
+  checki "every node drawn" 15 node_cells;
+  checkb "multi-line" true (String.contains sketch '\n')
+
+let test_render_requires_embedding () =
+  let g = G.empty 2 in
+  let dual = Dual.create ~g ~g':g () in
+  Alcotest.check_raises "no embedding"
+    (Invalid_argument "Render.field: dual graph has no embedding") (fun () ->
+      ignore (Render.field dual))
+
+let test_render_degree_histogram () =
+  let dual = Geo.clique 4 in
+  let text = Render.degree_histogram dual in
+  checkb "mentions degree 3" true
+    (List.exists
+       (fun line ->
+         String.length line >= 6 && String.sub line 0 6 = "deg  3")
+       (String.split_on_char '\n' text))
+
+(* --- new generators --- *)
+
+let test_ring_structure () =
+  let dual = Geo.ring ~n:10 ~hop:0.9 ~r:1.0 () in
+  checki "cycle edges" 10 (G.edge_count (Dual.g dual));
+  checkb "0-1 adjacent" true (G.mem_edge (Dual.g dual) 0 1);
+  checkb "wraps" true (G.mem_edge (Dual.g dual) 9 0);
+  checkb "r-geographic" true (Dual.is_r_geographic dual);
+  checki "ring diameter" 5 (G.diameter (Dual.g dual))
+
+let test_ring_grey_shortcuts () =
+  let dual = Geo.ring ~n:12 ~hop:0.9 ~r:2.0 () in
+  checkb "2-hop unreliable" true
+    (Array.length (Dual.unreliable_edges dual) >= 12);
+  checkb "r-geographic" true (Dual.is_r_geographic dual)
+
+let test_ring_validation () =
+  Alcotest.check_raises "n >= 3" (Invalid_argument "Geometric.ring: need n >= 3")
+    (fun () -> ignore (Geo.ring ~n:2 ()))
+
+let test_corridor () =
+  let dual = Geo.corridor ~rng:(Rng.of_int 5) ~n:30 ~length:8.0 () in
+  checki "n" 30 (Dual.n dual);
+  checkb "r-geographic" true (Dual.is_r_geographic dual);
+  (* a thin strip yields a long multihop network *)
+  if Dualgraph.Graph.is_connected (Dual.g dual) then
+    checkb "elongated" true (G.diameter (Dual.g dual) >= 3)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"io roundtrip on random dual graphs" ~count:30
+      (pair (int_range 0 30) small_int)
+      (fun (n, seed) ->
+        let dual =
+          Geo.random_field ~rng:(Rng.of_int seed) ~n ~width:3.5 ~height:3.5
+            ~r:1.5 ~gray_g':0.5 ~gray_g:0.2 ()
+        in
+        same_dual dual (Io.of_string (Io.to_string dual)));
+    Test.make ~name:"io roundtrip preserves the embedding geometry" ~count:20
+      (pair (int_range 1 20) small_int)
+      (fun (n, seed) ->
+        let dual =
+          Geo.random_field ~rng:(Rng.of_int seed) ~n ~width:3.0 ~height:3.0
+            ~r:1.5 ()
+        in
+        let copy = Io.of_string (Io.to_string dual) in
+        (* loading re-validates, so surviving Dual.create means the
+           geometry survived the float round-trip *)
+        Dual.is_r_geographic copy);
+  ]
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("io roundtrip embedded", test_roundtrip_embedded);
+      ("io roundtrip bare", test_roundtrip_bare);
+      ("io comments", test_parse_with_comments);
+      ("io parse errors", test_parse_errors);
+      ("io save/load", test_save_load);
+      ("render field", test_render_field);
+      ("render requires embedding", test_render_requires_embedding);
+      ("render degree histogram", test_render_degree_histogram);
+      ("ring structure", test_ring_structure);
+      ("ring grey shortcuts", test_ring_grey_shortcuts);
+      ("ring validation", test_ring_validation);
+      ("corridor", test_corridor);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases

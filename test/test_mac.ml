@@ -1,0 +1,142 @@
+(* Tests for the abstract MAC layer adapter and the flood application. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module M = Localcast.Messages
+module Params = Localcast.Params
+module Mac = Localcast.Mac
+module Flood = Macapps.Flood
+module Rng = Prng.Rng
+
+let mk_mac ?callbacks ?(tack_phases = 2) dual =
+  let params = Params.of_dual ~tack_phases ~eps1:0.2 dual in
+  (params, Mac.create ?callbacks ~params ~rng:(Rng.of_int 11) ~dual ())
+
+let test_request_busy_lifecycle () =
+  let dual = Geo.pair () in
+  let _, mac = mk_mac dual in
+  checkb "idle initially" false (Mac.busy mac ~node:0);
+  checkb "request accepted" true (Mac.request mac ~node:0 ~tag:5);
+  checkb "busy while outstanding" true (Mac.busy mac ~node:0);
+  checkb "second request refused" false (Mac.request mac ~node:0 ~tag:5);
+  checkb "other node unaffected" false (Mac.busy mac ~node:1)
+
+let test_bounds_match_params () =
+  let dual = Geo.pair () in
+  let params, mac = mk_mac dual in
+  checki "f_prog = t_prog" (Params.t_prog_rounds params) (Mac.f_prog mac);
+  checki "f_ack = t_ack" (Params.t_ack_rounds params) (Mac.f_ack mac)
+
+let test_events_fire () =
+  let dual = Geo.pair () in
+  let recvs = ref [] and acks = ref [] in
+  let callbacks =
+    {
+      Mac.on_recv = (fun ~node ~round:_ p -> recvs := (node, p) :: !recvs);
+      on_ack = (fun ~node ~round:_ p -> acks := (node, p) :: !acks);
+    }
+  in
+  let params, mac = mk_mac ~callbacks dual in
+  checkb "request" true (Mac.request mac ~node:0 ~tag:7);
+  let (_ : int) =
+    Mac.run mac ~scheduler:Sch.reliable_only ~rounds:(4 * params.Params.phase_len)
+  in
+  checkb "neighbor received" true
+    (List.exists (fun (node, p) -> node = 1 && p.M.tag = 7) !recvs);
+  checkb "sender acked" true
+    (List.exists (fun (node, p) -> node = 0 && p.M.tag = 7) !acks);
+  checkb "idle again after ack" false (Mac.busy mac ~node:0)
+
+let test_run_once_only () =
+  let dual = Geo.pair () in
+  let _, mac = mk_mac dual in
+  let (_ : int) = Mac.run mac ~scheduler:Sch.reliable_only ~rounds:1 in
+  Alcotest.check_raises "second run" (Invalid_argument "Mac.run: already run")
+    (fun () -> ignore (Mac.run mac ~scheduler:Sch.reliable_only ~rounds:1))
+
+let flood_params dual = Params.of_dual ~tack_phases:2 ~eps1:0.2 dual
+
+let test_flood_pair () =
+  let dual = Geo.pair () in
+  let params = flood_params dual in
+  let result =
+    Flood.run ~params ~rng:(Rng.of_int 21) ~dual ~scheduler:Sch.reliable_only
+      ~source:0
+      ~max_rounds:(10 * params.Localcast.Params.phase_len)
+      ()
+  in
+  checki "both covered" 2 result.Flood.covered_count;
+  checkb "completed" true (result.Flood.completion_round <> None);
+  checkb "source covered" true result.Flood.covered.(0)
+
+let test_flood_line_multihop () =
+  let dual = Geo.line ~n:5 ~spacing:0.9 () in
+  let params = flood_params dual in
+  let result =
+    Flood.run ~params ~rng:(Rng.of_int 22) ~dual ~scheduler:Sch.reliable_only
+      ~source:0
+      ~max_rounds:(60 * params.Localcast.Params.phase_len)
+      ()
+  in
+  checki "line fully covered" 5 result.Flood.covered_count;
+  checkb "needed relays" true (result.Flood.relays >= 2);
+  checkb "relays bounded by n" true (result.Flood.relays <= 5)
+
+let test_flood_respects_topology () =
+  (* Flooding never reaches a node with no path in G'. *)
+  let g = Dualgraph.Graph.create ~n:3 ~edges:[ (0, 1) ] in
+  let dual = Dual.create ~g ~g':g () in
+  let params = flood_params dual in
+  let result =
+    Flood.run ~params ~rng:(Rng.of_int 23) ~dual ~scheduler:Sch.reliable_only
+      ~source:0
+      ~max_rounds:(10 * params.Localcast.Params.phase_len)
+      ()
+  in
+  checki "island not covered" 2 result.Flood.covered_count;
+  checkb "no completion" true (result.Flood.completion_round = None)
+
+let test_flood_source_validation () =
+  let dual = Geo.pair () in
+  let params = flood_params dual in
+  Alcotest.check_raises "source range" (Invalid_argument "Flood.run: source out of range")
+    (fun () ->
+      ignore
+        (Flood.run ~params ~rng:(Rng.of_int 1) ~dual ~scheduler:Sch.reliable_only
+           ~source:5 ~max_rounds:10 ()))
+
+let test_flood_latency_grows_with_diameter () =
+  let latency n =
+    let dual = Geo.line ~n ~spacing:0.9 () in
+    let params = flood_params dual in
+    let result =
+      Flood.run ~params ~rng:(Rng.of_int 24) ~dual ~scheduler:Sch.reliable_only
+        ~source:0
+        ~max_rounds:(200 * params.Localcast.Params.phase_len)
+        ()
+    in
+    match result.Flood.completion_round with
+    | Some r -> r
+    | None -> Alcotest.fail "flood did not complete"
+  in
+  checkb "longer line takes longer" true (latency 8 > latency 2)
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("request/busy lifecycle", test_request_busy_lifecycle);
+      ("bounds match params", test_bounds_match_params);
+      ("events fire", test_events_fire);
+      ("run once only", test_run_once_only);
+      ("flood pair", test_flood_pair);
+      ("flood line multihop", test_flood_line_multihop);
+      ("flood respects topology", test_flood_respects_topology);
+      ("flood source validation", test_flood_source_validation);
+      ("flood latency grows with diameter", test_flood_latency_grows_with_diameter);
+    ]

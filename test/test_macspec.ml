@@ -1,0 +1,117 @@
+(* Tests for the event-level abstract MAC layer checker (Mac_spec). *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module M = Localcast.Messages
+module Params = Localcast.Params
+module Mac = Localcast.Mac
+module Spec = Localcast.Mac_spec
+module Rng = Prng.Rng
+
+let payload ?(uid = 0) src = M.payload ~src ~uid ()
+
+(* --- synthetic event sequences --- *)
+
+let test_clean_sequence () =
+  let dual = Geo.pair () in
+  let m = Spec.monitor ~dual ~f_ack:100 in
+  Spec.note_request m ~node:0 ~round:0 (payload 0);
+  Spec.note_recv m ~node:1 ~round:5 (payload 0);
+  Spec.note_ack m ~node:0 ~round:10 (payload 0);
+  let report = Spec.finish m ~rounds:20 in
+  checkb "ok" true (Spec.ok report);
+  checki "requests" 1 report.Spec.requests;
+  checki "max latency" 10 report.Spec.max_ack_latency
+
+let test_unmatched_ack () =
+  let dual = Geo.pair () in
+  let m = Spec.monitor ~dual ~f_ack:100 in
+  Spec.note_ack m ~node:0 ~round:3 (payload 0);
+  let report = Spec.finish m ~rounds:10 in
+  checki "unmatched" 1 report.Spec.unmatched_acks;
+  checkb "not ok" false (Spec.ok report)
+
+let test_late_and_missing_acks () =
+  let dual = Geo.pair () in
+  let m = Spec.monitor ~dual ~f_ack:10 in
+  Spec.note_request m ~node:0 ~round:0 (payload 0);
+  Spec.note_ack m ~node:0 ~round:25 (payload 0);
+  Spec.note_request m ~node:1 ~round:0 (payload 1);
+  let report = Spec.finish m ~rounds:50 in
+  checki "late" 1 report.Spec.late_acks;
+  checki "missing" 1 report.Spec.missing_acks
+
+let test_invalid_recv_no_outstanding () =
+  let dual = Geo.pair () in
+  let m = Spec.monitor ~dual ~f_ack:100 in
+  Spec.note_recv m ~node:1 ~round:2 (payload 0);
+  let report = Spec.finish m ~rounds:10 in
+  checki "invalid" 1 report.Spec.invalid_recvs
+
+let test_invalid_recv_not_neighbor () =
+  (* line 0-1-2 with r=1: nodes 0 and 2 are not G'-neighbors *)
+  let dual = Geo.line ~n:3 ~spacing:0.9 ~r:1.0 () in
+  let m = Spec.monitor ~dual ~f_ack:100 in
+  Spec.note_request m ~node:0 ~round:0 (payload 0);
+  Spec.note_recv m ~node:2 ~round:2 (payload 0);
+  let report = Spec.finish m ~rounds:10 in
+  checki "invalid (not a neighbor)" 1 report.Spec.invalid_recvs
+
+let test_recv_in_ack_round_valid () =
+  let dual = Geo.pair () in
+  let m = Spec.monitor ~dual ~f_ack:100 in
+  Spec.note_request m ~node:0 ~round:0 (payload 0);
+  (* ack processed before the neighbor's recv within the same round *)
+  Spec.note_ack m ~node:0 ~round:7 (payload 0);
+  Spec.note_recv m ~node:1 ~round:7 (payload 0);
+  let report = Spec.finish m ~rounds:10 in
+  checki "same-round recv valid" 0 report.Spec.invalid_recvs
+
+let test_duplicate_recv () =
+  let dual = Geo.pair () in
+  let m = Spec.monitor ~dual ~f_ack:100 in
+  Spec.note_request m ~node:0 ~round:0 (payload 0);
+  Spec.note_recv m ~node:1 ~round:2 (payload 0);
+  Spec.note_recv m ~node:1 ~round:3 (payload 0);
+  let report = Spec.finish m ~rounds:10 in
+  checki "duplicate" 1 report.Spec.duplicate_recvs
+
+(* --- end-to-end over a real MAC run --- *)
+
+let test_live_mac_run_is_clean () =
+  let dual = Geo.clique 4 in
+  let params = Params.of_dual ~tack_phases:2 ~eps1:0.2 dual in
+  let monitor = Spec.monitor ~dual ~f_ack:(Params.t_ack_rounds params) in
+  let callbacks = Spec.callbacks monitor ~chain:Mac.no_callbacks in
+  let mac = Mac.create ~callbacks ~params ~rng:(Rng.of_int 8) ~dual () in
+  (* requests land as bcast inputs at round 0 *)
+  for v = 0 to 3 do
+    if Mac.request mac ~node:v ~tag:0 then
+      Spec.note_request monitor ~node:v ~round:0
+        (M.payload ~tag:0 ~src:v ~uid:0 ())
+  done;
+  let rounds = 4 * params.Params.phase_len in
+  let executed = Mac.run mac ~scheduler:(Sch.bernoulli ~seed:8 ~p:0.5) ~rounds in
+  let report = Spec.finish monitor ~rounds:executed in
+  checki "all four acked" 4 report.Spec.acks;
+  checkb "live run satisfies the MAC spec" true (Spec.ok report);
+  checkb "saw receptions" true (report.Spec.recvs > 0)
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("clean sequence", test_clean_sequence);
+      ("unmatched ack", test_unmatched_ack);
+      ("late and missing acks", test_late_and_missing_acks);
+      ("invalid recv: no outstanding", test_invalid_recv_no_outstanding);
+      ("invalid recv: not neighbor", test_invalid_recv_not_neighbor);
+      ("same-round ack/recv ordering", test_recv_in_ack_round_valid);
+      ("duplicate recv", test_duplicate_recv);
+      ("live MAC run is clean", test_live_mac_run_is_clean);
+    ]

@@ -1,0 +1,133 @@
+(* Tests for the Oracle seed source (E14's perfect-coordination ablation). *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Trace = Radiosim.Trace
+module P = Radiosim.Process
+module M = Localcast.Messages
+module Params = Localcast.Params
+module Lb_alg = Localcast.Lb_alg
+module Lb_env = Localcast.Lb_env
+module Lb_spec = Localcast.Lb_spec
+module Rng = Prng.Rng
+
+let run ~seed_source ~dual ~params ~phases ~rng_seed =
+  let n = Dualgraph.Dual.n dual in
+  let nodes = Lb_alg.network ~seed_source params ~rng:(Rng.of_int rng_seed) ~n in
+  let envt = Lb_env.saturate ~n ~senders:[ 0 ] () in
+  let trace, obs = Trace.recorder () in
+  let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let observer record =
+    obs record;
+    Lb_spec.observe monitor record
+  in
+  let (_ : int) =
+    Radiosim.Engine.run ~observer ~dual ~scheduler:Sch.reliable_only ~nodes
+      ~env:(Lb_env.env envt)
+      ~rounds:(phases * params.Params.phase_len)
+      ()
+  in
+  (trace, Lb_spec.finish monitor)
+
+let oracle () = Lb_alg.Oracle (Rng.of_int 777)
+
+let test_oracle_no_seed_traffic () =
+  (* Oracle mode never transmits during preambles — there is no agreement
+     protocol to run. *)
+  let dual = Geo.pair () in
+  let params = Params.of_dual ~tack_phases:2 ~eps1:0.2 dual in
+  let trace, _ =
+    run ~seed_source:(oracle ()) ~dual ~params ~phases:3 ~rng_seed:1
+  in
+  Trace.iter
+    (fun record ->
+      Array.iter
+        (fun action ->
+          match action with
+          | P.Transmit (M.Seed_msg _) -> Alcotest.fail "seed message under oracle"
+          | P.Transmit (M.Data _) | P.Listen -> ())
+        record.Trace.actions)
+    trace
+
+let test_oracle_commits_shared_seed () =
+  (* All nodes commit the same seed (owner -1) at every refresh phase. *)
+  let dual = Geo.clique 4 in
+  let params = Params.of_dual ~tack_phases:2 ~eps1:0.2 dual in
+  let trace, _ =
+    run ~seed_source:(oracle ()) ~dual ~params ~phases:2 ~rng_seed:2
+  in
+  let commits v =
+    List.filter_map
+      (fun (_, out) -> match out with M.Committed a -> Some a | _ -> None)
+      (Trace.outputs_of trace v)
+  in
+  let reference = commits 0 in
+  checki "two phases committed" 2 (List.length reference);
+  List.iter
+    (fun ({ M.owner; _ } : M.seed_announcement) ->
+      checki "oracle owner sentinel" (-1) owner)
+    reference;
+  for v = 1 to 3 do
+    checkb
+      (Printf.sprintf "node %d shares node 0's seeds" v)
+      true
+      (List.for_all2
+         (fun (a : M.seed_announcement) (b : M.seed_announcement) ->
+           Prng.Bitstring.equal a.M.seed b.M.seed)
+         reference (commits v))
+  done
+
+let test_oracle_seeds_change_across_phases () =
+  let dual = Geo.pair () in
+  let params = Params.of_dual ~tack_phases:2 ~eps1:0.2 dual in
+  let trace, _ =
+    run ~seed_source:(oracle ()) ~dual ~params ~phases:2 ~rng_seed:3
+  in
+  let commits =
+    List.filter_map
+      (fun (_, out) -> match out with M.Committed a -> Some a.M.seed | _ -> None)
+      (Trace.outputs_of trace 0)
+  in
+  match commits with
+  | [ a; b ] -> checkb "fresh seed each phase" false (Prng.Bitstring.equal a b)
+  | _ -> Alcotest.fail "expected two commits"
+
+let test_oracle_service_still_correct () =
+  let dual = Geo.clique 5 in
+  let params = Params.of_dual ~tack_phases:2 ~eps1:0.2 dual in
+  let _, report =
+    run ~seed_source:(oracle ()) ~dual ~params ~phases:8 ~rng_seed:4
+  in
+  checki "validity" 0 report.Lb_spec.validity_violations;
+  checki "late acks" 0 report.Lb_spec.late_ack_count;
+  checkb "progress works" true (Lb_spec.progress_rate report >= 0.8);
+  checkb "reliability works" true (Lb_spec.reliability_rate report >= 0.9)
+
+let test_oracle_shared_rng_not_advanced () =
+  (* Resolving the oracle must not advance the caller's generator: two
+     networks built from the same generator behave identically. *)
+  let shared = Rng.of_int 99 in
+  let before = Rng.bits64 (Rng.copy shared) in
+  let dual = Geo.pair () in
+  let params = Params.of_dual ~tack_phases:1 ~eps1:0.2 dual in
+  let (_ : (M.msg, M.lb_input, M.lb_output) P.node array) =
+    Lb_alg.network ~seed_source:(Lb_alg.Oracle shared) params ~rng:(Rng.of_int 1)
+      ~n:2
+  in
+  let after = Rng.bits64 (Rng.copy shared) in
+  Alcotest.check Alcotest.int64 "generator untouched" before after
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("oracle: no seed traffic", test_oracle_no_seed_traffic);
+      ("oracle: shared commits", test_oracle_commits_shared_seed);
+      ("oracle: fresh seed per phase", test_oracle_seeds_change_across_phases);
+      ("oracle: service still correct", test_oracle_service_still_correct);
+      ("oracle: shared rng untouched", test_oracle_shared_rng_not_advanced);
+    ]

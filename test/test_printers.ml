@@ -1,0 +1,107 @@
+(* Smoke tests for every pretty-printer: rendering must not raise and
+   must contain the load-bearing pieces of information. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let render pp v = Format.asprintf "%a" pp v
+
+module M = Localcast.Messages
+
+let payload = M.payload ~src:3 ~uid:7 ()
+let tagged = M.payload ~tag:5 ~src:3 ~uid:7 ()
+let announcement = { M.owner = 2; seed = Prng.Bitstring.of_string "1010" }
+
+let test_payload () =
+  checkb "payload" true (contains (render M.pp_payload payload) "3#7");
+  checkb "tagged payload" true (contains (render M.pp_payload tagged) "tag=5")
+
+let test_seed_announcement () =
+  let s = render M.pp_seed_announcement announcement in
+  checkb "owner" true (contains s "owner=2");
+  checkb "length not contents" true (contains s "4 bits")
+
+let test_msg () =
+  checkb "data" true (contains (render M.pp_msg (M.Data payload)) "3#7");
+  checkb "seed" true (contains (render M.pp_msg (M.Seed_msg announcement)) "owner=2")
+
+let test_lb_io () =
+  checkb "bcast" true (contains (render M.pp_lb_input (M.Bcast payload)) "bcast");
+  checkb "recv" true (contains (render M.pp_lb_output (M.Recv payload)) "recv");
+  checkb "ack" true (contains (render M.pp_lb_output (M.Ack payload)) "ack");
+  checkb "committed" true
+    (contains (render M.pp_lb_output (M.Committed announcement)) "committed");
+  checkb "decide" true
+    (contains (render M.pp_seed_output (M.Decide announcement)) "decide")
+
+let test_action () =
+  let pp = Radiosim.Process.pp_action M.pp_msg in
+  checkb "transmit" true
+    (contains (render pp (Radiosim.Process.Transmit (M.Data payload))) "transmit");
+  checkb "listen" true (contains (render pp Radiosim.Process.Listen) "listen")
+
+let test_scheduler () =
+  let s = render Radiosim.Scheduler.pp (Radiosim.Scheduler.bernoulli ~seed:1 ~p:0.25) in
+  checkb "bernoulli name" true (contains s "bernoulli(p=0.25)");
+  checkb "adaptive name" true
+    (Radiosim.Adaptive.name (Radiosim.Adaptive.jam (Dualgraph.Geometric.gray_cluster ~k:1 ()))
+    = "adaptive-jam")
+
+let test_dual_pp () =
+  let s = render Dualgraph.Dual.pp (Dualgraph.Geometric.clique 3) in
+  checkb "vertex count" true (contains s "n=3");
+  checkb "edge counts" true (contains s "|E|=3")
+
+let test_graph_pp () =
+  let g = Dualgraph.Graph.create ~n:4 ~edges:[ (0, 1) ] in
+  checkb "graph pp" true (contains (render Dualgraph.Graph.pp g) "n=4 m=1")
+
+let test_embedding_pp () =
+  let s = render Dualgraph.Embedding.pp_point { Dualgraph.Embedding.x = 1.5; y = -2.0 } in
+  checkb "point" true (contains s "1.500")
+
+let test_bitstring_pp () =
+  let short = render Prng.Bitstring.pp (Prng.Bitstring.of_string "0110") in
+  checkb "short verbatim" true (String.equal short "0110");
+  let long = render Prng.Bitstring.pp (Prng.Bitstring.of_string (String.make 100 '1')) in
+  checkb "long truncated" true (contains long "(100 bits)")
+
+let test_params_pp () =
+  let p = Localcast.Params.make ~delta:8 ~delta':8 ~r:1.0 ~eps1:0.1 () in
+  let s = render Localcast.Params.pp p in
+  checkb "shows Tprog" true (contains s "Tprog=");
+  checkb "shows t_ack" true (contains s "t_ack=");
+  let sp = render Localcast.Params.pp_seed p.Localcast.Params.seed in
+  checkb "seed params show phases" true (contains sp "phases=")
+
+let test_summary_pp () =
+  let s = render Stats.Summary.pp (Stats.Summary.of_list [ 1.0; 2.0 ]) in
+  checkb "mean shown" true (contains s "mean=1.50")
+
+let test_ci_pp () =
+  let s = render Stats.Ci.pp (Stats.Ci.wilson ~successes:1 ~trials:2 ()) in
+  checkb "interval shown" true (contains s "0.5000 [")
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("payload", test_payload);
+      ("seed announcement", test_seed_announcement);
+      ("msg", test_msg);
+      ("lb inputs/outputs", test_lb_io);
+      ("process action", test_action);
+      ("scheduler names", test_scheduler);
+      ("dual", test_dual_pp);
+      ("graph", test_graph_pp);
+      ("embedding point", test_embedding_pp);
+      ("bitstring", test_bitstring_pp);
+      ("params", test_params_pp);
+      ("summary", test_summary_pp);
+      ("confidence interval", test_ci_pp);
+    ]

@@ -1,0 +1,333 @@
+(* Tests for the synchronous radio engine: the collision rule, oblivious
+   link schedulers, environments and traces. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module G = Dualgraph.Graph
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module P = Radiosim.Process
+module Sch = Radiosim.Scheduler
+module Engine = Radiosim.Engine
+module Trace = Radiosim.Trace
+module Env = Radiosim.Env
+module M = Localcast.Messages
+
+(* A node that transmits a fixed data message in the rounds satisfying
+   [when_], and listens otherwise. *)
+let talker ~src ~when_ =
+  let message = M.Data (M.payload ~src ~uid:0 ()) in
+  {
+    P.decide =
+      (fun ~round _ -> if when_ round then P.Transmit message else P.Listen);
+    absorb = (fun ~round:_ _ -> []);
+  }
+
+let listener () = P.silent ()
+
+let always _ = true
+
+let run_one_round ?(scheduler = Sch.reliable_only) ~dual nodes =
+  let trace, obs = Trace.recorder () in
+  let env = Env.null ~name:"t" () in
+  let (_ : int) =
+    Engine.run ~observer:obs ~dual ~scheduler ~nodes ~env ~rounds:1 ()
+  in
+  Trace.get trace 0
+
+(* --- schedulers --- *)
+
+let test_scheduler_constants () =
+  checkb "reliable_only off" false (Sch.active Sch.reliable_only ~round:3 ~edge:0);
+  checkb "all_edges on" true (Sch.active Sch.all_edges ~round:3 ~edge:0)
+
+let test_scheduler_bernoulli_deterministic () =
+  let s = Sch.bernoulli ~seed:5 ~p:0.5 in
+  for round = 0 to 50 do
+    checkb "repeatable" (Sch.active s ~round ~edge:2) (Sch.active s ~round ~edge:2)
+  done
+
+let test_scheduler_bernoulli_rate () =
+  let s = Sch.bernoulli ~seed:5 ~p:0.3 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for round = 0 to n - 1 do
+    if Sch.active s ~round ~edge:(round mod 17) then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  checkb "rate near p" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_scheduler_bernoulli_edges_independent () =
+  let s = Sch.bernoulli ~seed:5 ~p:0.5 in
+  let same = ref 0 in
+  for round = 0 to 999 do
+    if Sch.active s ~round ~edge:0 = Sch.active s ~round ~edge:1 then incr same
+  done;
+  checkb "edges decorrelated" true (!same > 350 && !same < 650)
+
+let test_scheduler_flicker () =
+  let s = Sch.flicker ~period:4 ~duty:2 in
+  checkb "round 0 on" true (Sch.active s ~round:0 ~edge:9);
+  checkb "round 1 on" true (Sch.active s ~round:1 ~edge:9);
+  checkb "round 2 off" false (Sch.active s ~round:2 ~edge:9);
+  checkb "round 3 off" false (Sch.active s ~round:3 ~edge:9);
+  checkb "round 4 on again" true (Sch.active s ~round:4 ~edge:9);
+  Alcotest.check_raises "validation"
+    (Invalid_argument "Scheduler.flicker: need 0 <= duty <= period, period > 0")
+    (fun () -> ignore (Sch.flicker ~period:2 ~duty:3))
+
+let test_scheduler_edge_phase () =
+  let s = Sch.edge_phase_flicker ~period:3 in
+  checkb "edge 0 round 0" true (Sch.active s ~round:0 ~edge:0);
+  checkb "edge 0 round 1" false (Sch.active s ~round:1 ~edge:0);
+  checkb "edge 1 round 1" true (Sch.active s ~round:1 ~edge:1);
+  checkb "edge 4 round 1" true (Sch.active s ~round:1 ~edge:4)
+
+let test_scheduler_thwart () =
+  let s = Sch.thwart ~hot:(fun round -> round mod 2 = 0) in
+  checkb "hot round" true (Sch.active s ~round:0 ~edge:3);
+  checkb "cold round" false (Sch.active s ~round:1 ~edge:3)
+
+(* --- collision rule --- *)
+
+let test_single_transmitter_delivers () =
+  let dual = Geo.pair () in
+  let record = run_one_round ~dual [| talker ~src:0 ~when_:always; listener () |] in
+  checkb "listener hears" true (record.Trace.delivered.(1) <> None);
+  checkb "transmitter hears nothing" true (record.Trace.delivered.(0) = None)
+
+let test_two_transmitters_collide () =
+  let dual = Geo.clique 3 in
+  let record =
+    run_one_round ~dual
+      [| talker ~src:0 ~when_:always; talker ~src:1 ~when_:always; listener () |]
+  in
+  checkb "collision at listener" true (record.Trace.delivered.(2) = None)
+
+let test_non_neighbor_silent () =
+  (* 0 and 2 are not neighbors on a unit-spaced line with r=1. *)
+  let dual = Geo.line ~n:3 ~spacing:0.9 ~r:1.0 () in
+  let record =
+    run_one_round ~dual [| talker ~src:0 ~when_:always; listener (); listener () |]
+  in
+  checkb "neighbor hears" true (record.Trace.delivered.(1) <> None);
+  checkb "non-neighbor does not" true (record.Trace.delivered.(2) = None)
+
+let test_unreliable_edge_gated_by_scheduler () =
+  let dual = Geo.line ~n:3 ~spacing:0.9 ~r:2.0 () in
+  (* The only unreliable edge is (0, 2). *)
+  let nodes () = [| talker ~src:0 ~when_:always; listener (); listener () |] in
+  let on = run_one_round ~scheduler:Sch.all_edges ~dual (nodes ()) in
+  checkb "edge on: delivered" true (on.Trace.delivered.(2) <> None);
+  let off = run_one_round ~scheduler:Sch.reliable_only ~dual (nodes ()) in
+  checkb "edge off: silent" true (off.Trace.delivered.(2) = None)
+
+let test_unreliable_edge_causes_collision () =
+  (* The defining dual graph hazard: a reliable transmission that would
+     arrive cleanly is destroyed when the scheduler switches in an
+     unreliable link carrying a second transmitter. *)
+  let dual = Geo.gray_cluster ~k:1 ~r:1.5 () in
+  (* vertices: 0 = receiver u, 1 = reliable neighbor v, 2 = grey node *)
+  let nodes () =
+    [| listener (); talker ~src:1 ~when_:always; talker ~src:2 ~when_:always |]
+  in
+  let off = run_one_round ~scheduler:Sch.reliable_only ~dual (nodes ()) in
+  checkb "without grey edge: v heard" true
+    (match off.Trace.delivered.(0) with
+    | Some (M.Data p) -> p.M.src = 1
+    | _ -> false);
+  let on = run_one_round ~scheduler:Sch.all_edges ~dual (nodes ()) in
+  checkb "with grey edge: collision" true (on.Trace.delivered.(0) = None)
+
+let test_message_content_preserved () =
+  let dual = Geo.pair () in
+  let record = run_one_round ~dual [| talker ~src:0 ~when_:always; listener () |] in
+  (match record.Trace.delivered.(1) with
+  | Some (M.Data p) ->
+      checki "src" 0 p.M.src;
+      checki "uid" 0 p.M.uid
+  | _ -> Alcotest.fail "expected data delivery")
+
+let test_engine_validation () =
+  let dual = Geo.pair () in
+  let env = Env.null ~name:"t" () in
+  Alcotest.check_raises "node count"
+    (Invalid_argument "Engine.run: node array size differs from vertex count")
+    (fun () ->
+      ignore
+        (Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes:[| listener () |]
+           ~env ~rounds:1 ()));
+  Alcotest.check_raises "negative rounds"
+    (Invalid_argument "Engine.run: negative round count") (fun () ->
+      ignore
+        (Engine.run ~dual ~scheduler:Sch.reliable_only
+           ~nodes:[| listener (); listener () |]
+           ~env ~rounds:(-1) ()))
+
+let test_engine_stop () =
+  let dual = Geo.pair () in
+  let env = Env.null ~name:"t" () in
+  let nodes = [| talker ~src:0 ~when_:(fun r -> r = 3); listener () |] in
+  let executed =
+    Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes ~env ~rounds:100
+      ~stop:(fun record -> record.Trace.delivered.(1) <> None)
+      ()
+  in
+  checki "stopped right after delivery" 4 executed
+
+let test_engine_round_count () =
+  let dual = Geo.pair () in
+  let env = Env.null ~name:"t" () in
+  let executed =
+    Engine.run ~dual ~scheduler:Sch.reliable_only
+      ~nodes:[| listener (); listener () |]
+      ~env ~rounds:17 ()
+  in
+  checki "all rounds executed" 17 executed
+
+let test_engine_determinism () =
+  let mk () =
+    let rng = Prng.Rng.of_int 77 in
+    let dual =
+      Geo.random_field ~rng:(Prng.Rng.of_int 5) ~n:20 ~width:3.0 ~height:3.0
+        ~r:1.5 ()
+    in
+    let nodes =
+      Array.init 20 (fun src ->
+          let node_rng = Prng.Rng.split rng in
+          talker ~src ~when_:(fun _ -> Prng.Rng.bernoulli node_rng 0.3))
+    in
+    let trace, obs = Trace.recorder () in
+    let (_ : int) =
+      Engine.run ~observer:obs ~dual
+        ~scheduler:(Sch.bernoulli ~seed:3 ~p:0.5)
+        ~nodes
+        ~env:(Env.null ~name:"t" ())
+        ~rounds:50 ()
+    in
+    List.init 20 (fun v -> (Trace.transmission_count trace v, Trace.deliveries_of trace v))
+  in
+  checkb "identical executions" true (mk () = mk ())
+
+let test_transmitter_counts () =
+  let dual = Geo.clique 4 in
+  let transmitting = [| true; true; false; false |] in
+  let counts =
+    Engine.transmitter_counts ~dual ~scheduler:Sch.reliable_only ~round:0
+      ~transmitting
+  in
+  Alcotest.check (Alcotest.array Alcotest.int) "counts" [| 1; 1; 2; 2 |] counts
+
+let test_transmitter_counts_unreliable () =
+  let dual = Geo.line ~n:3 ~spacing:0.9 ~r:2.0 () in
+  let transmitting = [| true; false; false |] in
+  let on =
+    Engine.transmitter_counts ~dual ~scheduler:Sch.all_edges ~round:0 ~transmitting
+  in
+  let off =
+    Engine.transmitter_counts ~dual ~scheduler:Sch.reliable_only ~round:0
+      ~transmitting
+  in
+  checki "node 2 sees 0 over grey edge (on)" 1 on.(2);
+  checki "node 2 sees nothing (off)" 0 off.(2)
+
+(* --- trace utilities --- *)
+
+let sample_trace () =
+  let dual = Geo.pair () in
+  let trace, obs = Trace.recorder () in
+  let nodes = [| talker ~src:0 ~when_:(fun r -> r mod 2 = 0); listener () |] in
+  let (_ : int) =
+    Engine.run ~observer:obs ~dual ~scheduler:Sch.reliable_only ~nodes
+      ~env:(Env.null ~name:"t" ())
+      ~rounds:10 ()
+  in
+  trace
+
+let test_trace_length_get () =
+  let trace = sample_trace () in
+  checki "length" 10 (Trace.length trace);
+  checki "round stamps" 7 (Trace.get trace 7).Trace.round;
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Trace.get: round out of range") (fun () ->
+      ignore (Trace.get trace 10))
+
+let test_trace_queries () =
+  let trace = sample_trace () in
+  checki "transmissions" 5 (Trace.transmission_count trace 0);
+  checki "deliveries" 5 (List.length (Trace.deliveries_of trace 1));
+  checki "no outputs" 0 (List.length (Trace.outputs_of trace 0));
+  List.iter
+    (fun (round, _) -> checkb "delivery on even rounds" true (round mod 2 = 0))
+    (Trace.deliveries_of trace 1)
+
+let test_trace_fold_iter () =
+  let trace = sample_trace () in
+  let folded = Trace.fold (fun acc r -> acc + r.Trace.round) 0 trace in
+  checki "fold sums rounds" 45 folded;
+  let count = ref 0 in
+  Trace.iter (fun _ -> incr count) trace;
+  checki "iter visits all" 10 !count
+
+(* --- environments --- *)
+
+let test_env_scripted () =
+  let env = Env.scripted ~name:"s" [ (2, 1, "hello"); (5, 0, "bye") ] in
+  Alcotest.check (Alcotest.list Alcotest.string) "at round 2 node 1" [ "hello" ]
+    (env.Env.inputs ~round:2 ~node:1);
+  Alcotest.check (Alcotest.list Alcotest.string) "wrong node" []
+    (env.Env.inputs ~round:2 ~node:0);
+  Alcotest.check (Alcotest.list Alcotest.string) "wrong round" []
+    (env.Env.inputs ~round:3 ~node:1)
+
+let test_env_inputs_reach_process () =
+  let dual = Geo.pair () in
+  let env = Env.scripted ~name:"s" [ (4, 0, ()) ] in
+  let got = ref None in
+  let probe =
+    {
+      P.decide =
+        (fun ~round inputs ->
+          if inputs <> [] then got := Some round;
+          P.Listen);
+      absorb = (fun ~round:_ _ -> []);
+    }
+  in
+  let (_ : int) =
+    Engine.run ~dual ~scheduler:Sch.reliable_only
+      ~nodes:[| probe; listener () |]
+      ~env ~rounds:8 ()
+  in
+  Alcotest.check (Alcotest.option Alcotest.int) "input at round 4" (Some 4) !got
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("scheduler constants", test_scheduler_constants);
+      ("scheduler bernoulli deterministic", test_scheduler_bernoulli_deterministic);
+      ("scheduler bernoulli rate", test_scheduler_bernoulli_rate);
+      ("scheduler bernoulli edges independent", test_scheduler_bernoulli_edges_independent);
+      ("scheduler flicker", test_scheduler_flicker);
+      ("scheduler edge phase", test_scheduler_edge_phase);
+      ("scheduler thwart", test_scheduler_thwart);
+      ("single transmitter delivers", test_single_transmitter_delivers);
+      ("two transmitters collide", test_two_transmitters_collide);
+      ("non-neighbor silent", test_non_neighbor_silent);
+      ("unreliable edge gated", test_unreliable_edge_gated_by_scheduler);
+      ("unreliable edge causes collision", test_unreliable_edge_causes_collision);
+      ("message content preserved", test_message_content_preserved);
+      ("engine validation", test_engine_validation);
+      ("engine stop", test_engine_stop);
+      ("engine round count", test_engine_round_count);
+      ("engine determinism", test_engine_determinism);
+      ("transmitter counts", test_transmitter_counts);
+      ("transmitter counts unreliable", test_transmitter_counts_unreliable);
+      ("trace length/get", test_trace_length_get);
+      ("trace queries", test_trace_queries);
+      ("trace fold/iter", test_trace_fold_iter);
+      ("env scripted", test_env_scripted);
+      ("env inputs reach process", test_env_inputs_reach_process);
+    ]

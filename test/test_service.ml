@@ -1,0 +1,187 @@
+(* Tests for the high-level Localcast.Service runners and the
+   physical-layer Flood_decay baseline. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module Dual = Dualgraph.Dual
+module Geo = Dualgraph.Geometric
+module Sch = Radiosim.Scheduler
+module Params = Localcast.Params
+module Service = Localcast.Service
+module L = Localcast
+module Rng = Prng.Rng
+
+let small_params ?(tack_phases = 2) dual = Params.of_dual ~tack_phases ~eps1:0.2 dual
+
+(* --- Service.run --- *)
+
+let test_run_matches_manual_pipeline () =
+  (* The one-call runner must reproduce exactly what the hand-assembled
+     pipeline (as in test_lb.ml) produces. *)
+  let dual = Geo.clique 5 in
+  let params = small_params dual in
+  let via_service =
+    Service.run ~scheduler:Sch.reliable_only ~dual ~params ~senders:[ 0 ]
+      ~phases:4 ~seed:7 ()
+  in
+  let manual =
+    let n = Dual.n dual in
+    let rng = Rng.of_int 7 in
+    let nodes = L.Lb_alg.network params ~rng ~n in
+    let envt = L.Lb_env.saturate ~n ~senders:[ 0 ] () in
+    let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
+    let (_ : int) =
+      Radiosim.Engine.run
+        ~observer:(L.Lb_spec.observe monitor)
+        ~dual ~scheduler:Sch.reliable_only ~nodes ~env:(L.Lb_env.env envt)
+        ~rounds:(4 * params.Params.phase_len)
+        ()
+    in
+    L.Lb_spec.finish monitor
+  in
+  checki "same ack count" manual.L.Lb_spec.ack_count
+    via_service.Service.report.L.Lb_spec.ack_count;
+  checki "same progress failures" manual.L.Lb_spec.progress_failures
+    via_service.Service.report.L.Lb_spec.progress_failures;
+  checki "rounds executed" (4 * params.Params.phase_len)
+    via_service.Service.rounds_executed
+
+let test_run_deterministic () =
+  let dual = Geo.clique 4 in
+  let params = small_params dual in
+  let go () =
+    let o = Service.run ~dual ~params ~senders:[ 0; 2 ] ~phases:4 ~seed:3 () in
+    (o.Service.report.L.Lb_spec.ack_count,
+     o.Service.report.L.Lb_spec.progress_failures,
+     List.length o.Service.env_log)
+  in
+  checkb "deterministic" true (go () = go ())
+
+let test_run_observer_sees_rounds () =
+  let dual = Geo.pair () in
+  let params = small_params dual in
+  let seen = ref 0 in
+  let (_ : Service.outcome) =
+    Service.run
+      ~observer:(fun _ -> incr seen)
+      ~dual ~params ~senders:[ 0 ] ~phases:2 ~seed:1 ()
+  in
+  checki "observer called per round" (2 * params.Params.phase_len) !seen
+
+(* --- Service.one_shot --- *)
+
+let test_one_shot_completion () =
+  let dual = Geo.clique 4 in
+  let params = small_params ~tack_phases:3 dual in
+  let outcome, completion =
+    Service.one_shot ~scheduler:Sch.reliable_only ~dual ~params ~sender:0 ~seed:5 ()
+  in
+  checki "one ack" 1 outcome.Service.report.L.Lb_spec.ack_count;
+  (match completion with
+  | Some round ->
+      checkb "completion before the ack window closed" true
+        (round < Params.t_ack_rounds params)
+  | None -> Alcotest.fail "expected full neighborhood completion")
+
+let test_one_shot_isolated_sender () =
+  (* A sender with no reliable neighbors completes vacuously at round 0. *)
+  let dual = Geo.singleton () in
+  let params = small_params dual in
+  let _, completion = Service.one_shot ~dual ~params ~sender:0 ~seed:6 () in
+  Alcotest.check (Alcotest.option Alcotest.int) "vacuous completion" (Some 0)
+    completion
+
+(* --- Service.first_reception --- *)
+
+let test_first_reception () =
+  let dual = Geo.pair () in
+  let params = small_params dual in
+  let latency =
+    Service.first_reception ~scheduler:Sch.reliable_only ~dual ~params ~receiver:0
+      ~max_rounds:(4 * params.Params.phase_len)
+      ~seed:8 ()
+  in
+  (match latency with
+  | Some round ->
+      checkb "reception in a body round" false
+        (L.Lb_alg.is_preamble_round params round)
+  | None -> Alcotest.fail "pair receiver should hear its neighbor")
+
+let test_first_reception_starves_alone () =
+  let dual = Geo.singleton () in
+  let params = small_params dual in
+  Alcotest.check (Alcotest.option Alcotest.int) "no neighbors, no reception" None
+    (Service.first_reception ~dual ~params ~receiver:0 ~max_rounds:200 ~seed:9 ())
+
+(* --- Flood_decay --- *)
+
+let test_flood_decay_pair () =
+  let dual = Geo.pair () in
+  let result =
+    Baseline.Flood_decay.run ~rng:(Rng.of_int 10) ~dual
+      ~scheduler:Sch.reliable_only ~source:0 ~relay_epochs:4 ~max_rounds:500 ()
+  in
+  checki "covers both" 2 result.Baseline.Flood_decay.covered_count;
+  checkb "fast" true
+    (match result.Baseline.Flood_decay.completion_round with
+    | Some round -> round < 100
+    | None -> false)
+
+let test_flood_decay_validation () =
+  let dual = Geo.pair () in
+  Alcotest.check_raises "source" (Invalid_argument "Flood_decay.run: source out of range")
+    (fun () ->
+      ignore
+        (Baseline.Flood_decay.run ~rng:(Rng.of_int 1) ~dual
+           ~scheduler:Sch.reliable_only ~source:9 ~relay_epochs:1 ~max_rounds:10 ()));
+  Alcotest.check_raises "epochs"
+    (Invalid_argument "Flood_decay.run: relay_epochs must be >= 1") (fun () ->
+      ignore
+        (Baseline.Flood_decay.run ~rng:(Rng.of_int 1) ~dual
+           ~scheduler:Sch.reliable_only ~source:0 ~relay_epochs:0 ~max_rounds:10 ()))
+
+let test_flood_decay_no_guarantee () =
+  (* With a one-epoch window on a longer line, some trial fails to cover —
+     the unreliability the MAC-layer flood removes. *)
+  let dual = Geo.line ~n:12 ~spacing:0.9 () in
+  let incomplete = ref 0 in
+  for seed = 1 to 10 do
+    let result =
+      Baseline.Flood_decay.run ~rng:(Rng.of_int seed) ~dual
+        ~scheduler:Sch.reliable_only ~source:0 ~relay_epochs:1 ~max_rounds:5000 ()
+    in
+    if result.Baseline.Flood_decay.covered_count < 12 then incr incomplete
+  done;
+  checkb "raw flooding sometimes stalls" true (!incomplete > 0)
+
+let test_flood_decay_relay_window_bounded () =
+  (* After the window closes, nodes stay silent: the run's executed rounds
+     stop early only on coverage, so with an unreachable island the run
+     uses the full budget but transmissions cease. *)
+  let g = Dualgraph.Graph.create ~n:3 ~edges:[ (0, 1) ] in
+  let dual = Dual.create ~g ~g':g () in
+  let result =
+    Baseline.Flood_decay.run ~rng:(Rng.of_int 11) ~dual
+      ~scheduler:Sch.reliable_only ~source:0 ~relay_epochs:2 ~max_rounds:300 ()
+  in
+  checki "island unreachable" 2 result.Baseline.Flood_decay.covered_count;
+  checki "budget exhausted" 300 result.Baseline.Flood_decay.rounds_executed
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("service.run matches manual pipeline", test_run_matches_manual_pipeline);
+      ("service.run deterministic", test_run_deterministic);
+      ("service.run observer", test_run_observer_sees_rounds);
+      ("service.one_shot completion", test_one_shot_completion);
+      ("service.one_shot isolated", test_one_shot_isolated_sender);
+      ("service.first_reception", test_first_reception);
+      ("service.first_reception starves alone", test_first_reception_starves_alone);
+      ("flood_decay pair", test_flood_decay_pair);
+      ("flood_decay validation", test_flood_decay_validation);
+      ("flood_decay no guarantee", test_flood_decay_no_guarantee);
+      ("flood_decay bounded window", test_flood_decay_relay_window_bounded);
+    ]

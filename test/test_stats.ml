@@ -1,0 +1,143 @@
+(* Tests for the statistics/experiment-harness library. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+module Summary = Stats.Summary
+module Ci = Stats.Ci
+module Table = Stats.Table
+module Experiment = Stats.Experiment
+
+let test_summary_known () =
+  let s = Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  checki "count" 5 s.Summary.count;
+  checkf "mean" 3.0 s.Summary.mean;
+  checkf "min" 1.0 s.Summary.min;
+  checkf "max" 5.0 s.Summary.max;
+  checkf "median" 3.0 s.Summary.median;
+  checkf "stddev" (sqrt 2.5) s.Summary.stddev
+
+let test_summary_singleton () =
+  let s = Summary.of_list [ 7.5 ] in
+  checkf "mean" 7.5 s.Summary.mean;
+  checkf "stddev 0" 0.0 s.Summary.stddev;
+  checkf "p99" 7.5 s.Summary.p99
+
+let test_summary_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty sample")
+    (fun () -> ignore (Summary.of_list []))
+
+let test_summary_of_ints () =
+  let s = Summary.of_ints [ 2; 4; 6 ] in
+  checkf "mean" 4.0 s.Summary.mean
+
+let test_mean () =
+  checkf "mean" 2.0 (Summary.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Summary.mean: empty sample")
+    (fun () -> ignore (Summary.mean []))
+
+let test_percentile () =
+  let sorted = [| 10.0; 20.0; 30.0; 40.0 |] in
+  checkf "p0" 10.0 (Summary.percentile sorted 0.0);
+  checkf "p100" 40.0 (Summary.percentile sorted 1.0);
+  checkf "p50 interpolated" 25.0 (Summary.percentile sorted 0.5);
+  Alcotest.check_raises "q range" (Invalid_argument "Summary.percentile: q outside [0,1]")
+    (fun () -> ignore (Summary.percentile sorted 1.5))
+
+let test_wilson_basic () =
+  let ci = Ci.wilson ~successes:90 ~trials:100 () in
+  checkf "rate" 0.9 ci.Ci.rate;
+  checkb "ordering" true (ci.Ci.lower <= ci.Ci.rate && ci.Ci.rate <= ci.Ci.upper);
+  checkb "bounded" true (ci.Ci.lower >= 0.0 && ci.Ci.upper <= 1.0)
+
+let test_wilson_extremes () =
+  let all = Ci.wilson ~successes:50 ~trials:50 () in
+  checkb "upper is 1 at perfect score" true (all.Ci.upper = 1.0);
+  checkb "lower below 1" true (all.Ci.lower < 1.0);
+  let none = Ci.wilson ~successes:0 ~trials:50 () in
+  checkb "lower is 0 at zero score" true (none.Ci.lower = 0.0);
+  checkb "upper above 0 (rule of three)" true (none.Ci.upper > 0.0)
+
+let test_wilson_narrows () =
+  let small = Ci.wilson ~successes:9 ~trials:10 () in
+  let large = Ci.wilson ~successes:900 ~trials:1000 () in
+  checkb "more trials, tighter interval" true
+    (large.Ci.upper -. large.Ci.lower < small.Ci.upper -. small.Ci.lower)
+
+let test_wilson_validation () =
+  Alcotest.check_raises "trials" (Invalid_argument "Ci.wilson: trials must be positive")
+    (fun () -> ignore (Ci.wilson ~successes:0 ~trials:0 ()));
+  Alcotest.check_raises "successes"
+    (Invalid_argument "Ci.wilson: successes outside [0, trials]") (fun () ->
+      ignore (Ci.wilson ~successes:5 ~trials:3 ()))
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let rendered = Table.render t in
+  checkb "has title" true
+    (String.length rendered > 0 && String.sub rendered 0 8 = "== demo ");
+  (* all data lines share one width *)
+  let lines = String.split_on_char '\n' rendered in
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 && l.[0] = '|' then Some (String.length l) else None)
+      lines
+  in
+  checkb "aligned" true (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_mismatch () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: column count mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_table_cells () =
+  Alcotest.check Alcotest.string "int" "42" (Table.cell_int 42);
+  Alcotest.check Alcotest.string "float" "3.14" (Table.cell_float 3.14159);
+  Alcotest.check Alcotest.string "float decimals" "3.1416"
+    (Table.cell_float ~decimals:4 3.14159);
+  Alcotest.check Alcotest.string "rate" "97.50%" (Table.cell_rate 0.975)
+
+let test_trials_runner () =
+  let results = Experiment.trials ~seed:1 ~n:5 (fun ~trial ~seed -> (trial, seed)) in
+  checki "five results" 5 (List.length results);
+  Alcotest.check (Alcotest.list Alcotest.int) "trial indices in order"
+    [ 0; 1; 2; 3; 4 ]
+    (List.map fst results);
+  let seeds = List.map snd results in
+  checki "distinct seeds" 5 (List.length (List.sort_uniq Int.compare seeds))
+
+let test_trials_reproducible () =
+  let run () = Experiment.trials ~seed:9 ~n:3 (fun ~trial:_ ~seed -> seed) in
+  checkb "same master seed, same sub-seeds" true (run () = run ())
+
+let test_count_and_time () =
+  checki "count" 2 (Experiment.count (fun x -> x > 1) [ 0; 2; 3 ]);
+  let x, secs = Experiment.time (fun () -> 42) in
+  checki "result" 42 x;
+  checkb "non-negative time" true (secs >= 0.0)
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
+    [
+      ("summary known values", test_summary_known);
+      ("summary singleton", test_summary_singleton);
+      ("summary empty raises", test_summary_empty_raises);
+      ("summary of_ints", test_summary_of_ints);
+      ("mean", test_mean);
+      ("percentile", test_percentile);
+      ("wilson basic", test_wilson_basic);
+      ("wilson extremes", test_wilson_extremes);
+      ("wilson narrows", test_wilson_narrows);
+      ("wilson validation", test_wilson_validation);
+      ("table render", test_table_render);
+      ("table mismatch", test_table_mismatch);
+      ("table cells", test_table_cells);
+      ("trials runner", test_trials_runner);
+      ("trials reproducible", test_trials_reproducible);
+      ("count and time", test_count_and_time);
+    ]
