@@ -26,29 +26,42 @@ let run () =
   in
   List.iter
     (fun refresh ->
+      let samples =
+        run_trials ~salt:refresh ~n:trials (fun ~trial:_ ~seed ->
+            let dual = random_field ~seed ~n:30 () in
+            let params =
+              Params.of_dual ~seed_refresh:refresh ~eps1:0.1 ~tack_phases:3 dual
+            in
+            let cycle = refresh * params.Params.phase_len in
+            let share = float_of_int params.Params.ts /. float_of_int cycle in
+            let report, _ =
+              run_lb_trial ~dual ~params ~senders:[ 0; 15 ]
+                ~phases:(phases * refresh) ~seed ()
+            in
+            ( params.Params.seed.Params.kappa,
+              share,
+              report.L.Lb_spec.progress_opportunities,
+              report.L.Lb_spec.progress_failures,
+              report.L.Lb_spec.reliability_attempts,
+              report.L.Lb_spec.reliability_failures,
+              report.L.Lb_spec.ack_count,
+              report.L.Lb_spec.rounds_observed ))
+      in
       let opportunities = ref 0 and failures = ref 0 in
       let attempts = ref 0 and rel_failures = ref 0 in
       let acks = ref 0 and rounds_total = ref 0 in
       let kappa = ref 0 and preamble_share = ref 0.0 in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 131) + refresh in
-          let dual = random_field ~seed ~n:30 () in
-          let params = Params.of_dual ~seed_refresh:refresh ~eps1:0.1 ~tack_phases:3 dual in
-          kappa := params.Params.seed.Params.kappa;
-          let cycle = refresh * params.Params.phase_len in
-          preamble_share := float_of_int params.Params.ts /. float_of_int cycle;
-          let report, _ =
-            run_lb_trial ~dual ~params ~senders:[ 0; 15 ] ~phases:(phases * refresh)
-              ~seed ()
-          in
-          opportunities := !opportunities + report.L.Lb_spec.progress_opportunities;
-          failures := !failures + report.L.Lb_spec.progress_failures;
-          attempts := !attempts + report.L.Lb_spec.reliability_attempts;
-          rel_failures := !rel_failures + report.L.Lb_spec.reliability_failures;
-          acks := !acks + report.L.Lb_spec.ack_count;
-          rounds_total := !rounds_total + report.L.Lb_spec.rounds_observed)
-        (List.init trials (fun _ -> ()));
+      List.iter
+        (fun (k, share, opps, fails, atts, rfails, ack, rounds) ->
+          kappa := k;
+          preamble_share := share;
+          opportunities := !opportunities + opps;
+          failures := !failures + fails;
+          attempts := !attempts + atts;
+          rel_failures := !rel_failures + rfails;
+          acks := !acks + ack;
+          rounds_total := !rounds_total + rounds)
+        samples;
       Table.add_row table
         [
           Table.cell_int refresh;

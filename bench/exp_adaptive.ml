@@ -96,10 +96,8 @@ let run () =
   List.iter
     (fun k ->
       let dual = Geo.gray_cluster ~k ~r:1.5 () in
-      let sample f =
-        Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
-            f ~seed)
-      in
+      (* Same salt for both modes and algorithms: paired per-trial seeds. *)
+      let sample f = run_trials ~n:trials (fun ~trial:_ ~seed -> f ~seed) in
       let add_row name latency_of =
         let oblivious = sample (fun ~seed -> latency_of ~mode:`Oblivious ~seed) in
         let adaptive = sample (fun ~seed -> latency_of ~mode:`Adaptive ~seed) in

@@ -49,10 +49,10 @@ let run () =
         Sch.thwart ~hot:(Baseline.Decay.hot_predicate ~levels ~hot_levels)
       in
       let benign seed = Sch.bernoulli ~seed ~p:0.5 in
-      let sample f =
-        Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
-            f ~seed)
-      in
+      (* Same salt everywhere: benign and thwart runs (and all three
+         algorithms) see identical per-trial seeds, so each row is a
+         paired comparison. *)
+      let sample f = run_trials ~n:trials (fun ~trial:_ ~seed -> f ~seed) in
       let add_row name latency_of =
         let benign_samples = sample (fun ~seed -> latency_of ~scheduler:(benign seed) ~seed) in
         let thwart_samples = sample (fun ~seed -> latency_of ~scheduler:thwart ~seed) in

@@ -20,6 +20,27 @@ let quick = ref false
 
 let trials_scaled n = if !quick then max 2 (n / 4) else n
 
+(* Worker domains for the trial runner; set by --domains or the
+   LOCALCAST_DOMAINS environment variable.  Results are bit-identical at
+   every value (Stats.Experiment.trials_par restores trial order and
+   derives per-trial seeds from the trial index alone), so parallelism
+   is purely a wall-clock knob. *)
+let domains =
+  ref
+    (match Sys.getenv_opt "LOCALCAST_DOMAINS" with
+    | Some s -> ( match int_of_string_opt s with Some d when d >= 1 -> d | _ -> 1)
+    | None -> 1)
+
+(* The standard trial loop: [n] independently seeded trials of [f], run
+   over the domain pool.  [salt] distinguishes sweeps within one
+   experiment (e.g. one row per Δ) that would otherwise share trial
+   streams; experiments that deliberately pair samples (same seeds for
+   two algorithms or schedulers) call this twice with the same salt.
+   [f] runs concurrently with itself: it must keep its state trial-local
+   and return its measurements for sequential aggregation. *)
+let run_trials ?(salt = 0) ~n f =
+  Stats.Experiment.trials_par ~domains:!domains ~seed:(master_seed + salt) ~n f
+
 let section title =
   Printf.printf "\n######## %s ########\n%!" title
 

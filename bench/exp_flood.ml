@@ -43,57 +43,60 @@ let run () =
       let raw_budget = mac_budget in
       List.iter
         (fun (sched_name, scheduler) ->
-          (* raw flood *)
-          let raw_cov = ref 0 and raw_total = ref 0 in
-          let raw_completions = ref [] in
-          List.iteri
-            (fun trial () ->
-              let seed = master_seed + (trial * 433) + n in
-              let result =
-                Baseline.Flood_decay.run
-                  ~rng:(Prng.Rng.of_int seed)
-                  ~dual ~scheduler ~source:0 ~relay_epochs:2
-                  ~max_rounds:raw_budget ()
-              in
-              raw_cov := !raw_cov + result.Baseline.Flood_decay.covered_count;
-              raw_total := !raw_total + n;
-              match result.Baseline.Flood_decay.completion_round with
-              | Some round -> raw_completions := float_of_int round :: !raw_completions
-              | None -> ())
-            (List.init trials (fun _ -> ()));
-          (* MAC flood *)
-          let mac_cov = ref 0 and mac_total = ref 0 in
-          let mac_completions = ref [] in
-          List.iteri
-            (fun trial () ->
-              let seed = master_seed + (trial * 433) + n in
-              let result =
-                Macapps.Flood.run ~params
-                  ~rng:(Prng.Rng.of_int seed)
-                  ~dual ~scheduler ~source:0 ~max_rounds:mac_budget ()
-              in
-              mac_cov := !mac_cov + result.Macapps.Flood.covered_count;
-              mac_total := !mac_total + n;
-              match result.Macapps.Flood.completion_round with
-              | Some round -> mac_completions := float_of_int round :: !mac_completions
-              | None -> ())
-            (List.init trials (fun _ -> ()));
+          (* Both floods share salt n, so each trial pits them against the
+             same seed. *)
+          let raw_samples =
+            run_trials ~salt:n ~n:trials (fun ~trial:_ ~seed ->
+                let result =
+                  Baseline.Flood_decay.run
+                    ~rng:(Prng.Rng.of_int seed)
+                    ~dual ~scheduler ~source:0 ~relay_epochs:2
+                    ~max_rounds:raw_budget ()
+                in
+                ( result.Baseline.Flood_decay.covered_count,
+                  result.Baseline.Flood_decay.completion_round ))
+          in
+          let mac_samples =
+            run_trials ~salt:n ~n:trials (fun ~trial:_ ~seed ->
+                let result =
+                  Macapps.Flood.run ~params
+                    ~rng:(Prng.Rng.of_int seed)
+                    ~dual ~scheduler ~source:0 ~max_rounds:mac_budget ()
+                in
+                ( result.Macapps.Flood.covered_count,
+                  result.Macapps.Flood.completion_round ))
+          in
+          let fold samples =
+            let cov = ref 0 and total = ref 0 in
+            let completions = ref [] in
+            List.iter
+              (fun (c, completion) ->
+                cov := !cov + c;
+                total := !total + n;
+                match completion with
+                | Some round -> completions := float_of_int round :: !completions
+                | None -> ())
+              samples;
+            (!cov, !total, !completions)
+          in
+          let raw_cov, raw_total, raw_completions = fold raw_samples in
+          let mac_cov, mac_total, mac_completions = fold mac_samples in
           let mean l = if l = [] then Float.nan else Stats.Summary.mean l in
           Table.add_row table
             [
               Table.cell_int n;
               sched_name;
               "flood-decay";
-              Printf.sprintf "%d/%d" !raw_cov !raw_total;
-              Table.cell_float ~decimals:0 (mean !raw_completions);
+              Printf.sprintf "%d/%d" raw_cov raw_total;
+              Table.cell_float ~decimals:0 (mean raw_completions);
             ];
           Table.add_row table
             [
               Table.cell_int n;
               sched_name;
               "mac-flood";
-              Printf.sprintf "%d/%d" !mac_cov !mac_total;
-              Table.cell_float ~decimals:0 (mean !mac_completions);
+              Printf.sprintf "%d/%d" mac_cov mac_total;
+              Table.cell_float ~decimals:0 (mean mac_completions);
             ])
         [ ("benign", Sch.reliable_only); ("hostile", Sch.all_edges) ])
     sizes;

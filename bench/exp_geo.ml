@@ -35,41 +35,53 @@ let run () =
   let rs = if !quick then [ 1.0; 2.0 ] else [ 1.0; 1.5; 2.0; 3.0 ] in
   List.iter
     (fun r ->
+      let samples =
+        run_trials
+          ~salt:(int_of_float (10.0 *. r))
+          ~n:trials
+          (fun ~trial:_ ~seed ->
+            let dual =
+              Geo.random_field ~rng:(Prng.Rng.of_int seed) ~n:40 ~width:4.0
+                ~height:4.0 ~r ~gray_g':0.5 ()
+            in
+            let params = Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
+            (* seed agreement quality at this r *)
+            let seed_params =
+              Params.make_seed ~eps:params.Params.eps2 ~delta:(Dual.delta dual)
+                ~kappa:8 ()
+            in
+            let outcome =
+              run_seed_trial ~dual ~params:seed_params
+                ~delta_bound:params.Params.delta_bound
+                ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+                ~seed
+            in
+            (* service guarantee at this r *)
+            let report, _ =
+              run_lb_trial ~dual ~params ~senders:[ 0; 20 ] ~phases ~seed ()
+            in
+            ( Dual.delta' dual,
+              Array.length (Dual.unreliable_edges dual),
+              params.Params.delta_bound,
+              Params.t_prog_rounds params,
+              outcome.seed_report.L.Seed_spec.max_owners,
+              report.L.Lb_spec.progress_opportunities,
+              report.L.Lb_spec.progress_failures ))
+      in
       let delta' = ref 0 and unreliable = ref 0 in
       let delta_bound = ref 0 and t_prog = ref 0 in
       let max_owners = ref 0 in
       let opportunities = ref 0 and failures = ref 0 in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 509) + int_of_float (10.0 *. r) in
-          let dual =
-            Geo.random_field ~rng:(Prng.Rng.of_int seed) ~n:40 ~width:4.0
-              ~height:4.0 ~r ~gray_g':0.5 ()
-          in
-          delta' := max !delta' (Dual.delta' dual);
-          unreliable := !unreliable + Array.length (Dual.unreliable_edges dual);
-          let params = Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
-          delta_bound := params.Params.delta_bound;
-          t_prog := max !t_prog (Params.t_prog_rounds params);
-          (* seed agreement quality at this r *)
-          let seed_params =
-            Params.make_seed ~eps:params.Params.eps2 ~delta:(Dual.delta dual)
-              ~kappa:8 ()
-          in
-          let outcome =
-            run_seed_trial ~dual ~params:seed_params
-              ~delta_bound:params.Params.delta_bound
-              ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
-              ~seed
-          in
-          max_owners := max !max_owners outcome.seed_report.L.Seed_spec.max_owners;
-          (* service guarantee at this r *)
-          let report, _ =
-            run_lb_trial ~dual ~params ~senders:[ 0; 20 ] ~phases ~seed ()
-          in
-          opportunities := !opportunities + report.L.Lb_spec.progress_opportunities;
-          failures := !failures + report.L.Lb_spec.progress_failures)
-        (List.init trials (fun _ -> ()));
+      List.iter
+        (fun (d', unrel, bound, tp, owners, opps, fails) ->
+          delta' := max !delta' d';
+          unreliable := !unreliable + unrel;
+          delta_bound := bound;
+          t_prog := max !t_prog tp;
+          max_owners := max !max_owners owners;
+          opportunities := !opportunities + opps;
+          failures := !failures + fails)
+        samples;
       Table.add_row table
         [
           Table.cell_float ~decimals:1 r;

@@ -35,18 +35,22 @@ let e5 () =
     (fun delta ->
       let dual = Geo.clique delta in
       let params = Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
+      let samples =
+        run_trials ~salt:delta ~n:trials (fun ~trial:_ ~seed ->
+            let senders = List.init (delta - 1) (fun i -> i + 1) in
+            let report, _ = run_lb_trial ~dual ~params ~senders ~phases ~seed () in
+            ( report.L.Lb_spec.progress_opportunities,
+              report.L.Lb_spec.progress_failures,
+              List.map float_of_int report.L.Lb_spec.progress_latencies ))
+      in
       let opportunities = ref 0 and failures = ref 0 in
       let latencies = ref [] in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 31) + delta in
-          let senders = List.init (delta - 1) (fun i -> i + 1) in
-          let report, _ = run_lb_trial ~dual ~params ~senders ~phases ~seed () in
-          opportunities := !opportunities + report.L.Lb_spec.progress_opportunities;
-          failures := !failures + report.L.Lb_spec.progress_failures;
-          latencies :=
-            List.map float_of_int report.L.Lb_spec.progress_latencies @ !latencies)
-        (List.init trials (fun _ -> ()));
+      List.iter
+        (fun (opps, fails, lats) ->
+          opportunities := !opportunities + opps;
+          failures := !failures + fails;
+          latencies := lats @ !latencies)
+        samples;
       let latency_summary =
         if !latencies = [] then None else Some (Stats.Summary.of_list !latencies)
       in
@@ -74,20 +78,27 @@ let e5 () =
   in
   List.iter
     (fun eps1 ->
+      (* Same salt across eps rows: each eps sees the same topologies and
+         seeds, isolating the parameter effect. *)
+      let samples =
+        run_trials ~n:trials (fun ~trial:_ ~seed ->
+            let dual = random_field ~seed ~n:40 () in
+            let params = Params.of_dual ~eps1 ~tack_phases:2 dual in
+            let report, _ =
+              run_lb_trial ~dual ~params ~senders:[ 0; 13; 26 ] ~phases ~seed ()
+            in
+            ( Params.t_prog_rounds params,
+              report.L.Lb_spec.progress_opportunities,
+              report.L.Lb_spec.progress_failures ))
+      in
       let opportunities = ref 0 and failures = ref 0 in
       let t_prog = ref 0 in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 47) in
-          let dual = random_field ~seed ~n:40 () in
-          let params = Params.of_dual ~eps1 ~tack_phases:2 dual in
-          t_prog := Params.t_prog_rounds params;
-          let report, _ =
-            run_lb_trial ~dual ~params ~senders:[ 0; 13; 26 ] ~phases ~seed ()
-          in
-          opportunities := !opportunities + report.L.Lb_spec.progress_opportunities;
-          failures := !failures + report.L.Lb_spec.progress_failures)
-        (List.init trials (fun _ -> ()));
+      List.iter
+        (fun (tp, opps, fails) ->
+          t_prog := tp;
+          opportunities := !opportunities + opps;
+          failures := !failures + fails)
+        samples;
       Table.add_row table_eps
         [
           Table.cell_float ~decimals:3 eps1;
@@ -118,21 +129,23 @@ let e6 () =
     (fun delta ->
       let dual = Geo.clique delta in
       let params = Params.of_dual ~eps1:0.1 dual in
+      let samples =
+        run_trials ~salt:delta ~n:trials (fun ~trial:_ ~seed ->
+            let report, completion = run_reliability_trial ~dual ~params ~seed in
+            ( report.L.Lb_spec.reliability_attempts,
+              report.L.Lb_spec.reliability_failures,
+              completion ))
+      in
       let successes = ref 0 and attempts = ref 0 in
       let completions = ref [] in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 61) + delta in
-          let report, completion = run_reliability_trial ~dual ~params ~seed in
-          attempts := !attempts + report.L.Lb_spec.reliability_attempts;
-          successes :=
-            !successes
-            + (report.L.Lb_spec.reliability_attempts
-              - report.L.Lb_spec.reliability_failures);
+      List.iter
+        (fun (atts, fails, completion) ->
+          attempts := !attempts + atts;
+          successes := !successes + (atts - fails);
           match completion with
           | Some round -> completions := float_of_int round :: !completions
           | None -> ())
-        (List.init trials (fun _ -> ()));
+        samples;
       let t_ack = Params.t_ack_rounds params in
       let mean_completion =
         if !completions = [] then Float.nan else Stats.Summary.mean !completions
@@ -170,29 +183,39 @@ let e7 () =
       let dual = Geo.clique (delta + 1) in
       (* node 0 receives; 1..delta send *)
       let params = Params.of_dual ~eps1:0.1 ~tack_phases:phases dual in
-      let body_rounds = ref 0 and receptions = ref 0 and from_v = ref 0 in
-      let observer record =
-        if
-          (not (L.Lb_alg.is_preamble_round params record.Radiosim.Trace.round))
-          && record.Radiosim.Trace.round >= params.Params.ts
-        then begin
-          incr body_rounds;
-          match record.Radiosim.Trace.delivered.(0) with
-          | Some (M.Data p) ->
-              incr receptions;
-              if p.M.src = 1 then incr from_v
-          | _ -> ()
-        end
+      (* The observer is trial-local: each trial counts into its own refs
+         and returns the totals, so trials stay independent under
+         --domains > 1. *)
+      let samples =
+        run_trials ~salt:delta ~n:trials (fun ~trial:_ ~seed ->
+            let body_rounds = ref 0 and receptions = ref 0 and from_v = ref 0 in
+            let observer record =
+              if
+                (not
+                   (L.Lb_alg.is_preamble_round params record.Radiosim.Trace.round))
+                && record.Radiosim.Trace.round >= params.Params.ts
+              then begin
+                incr body_rounds;
+                match record.Radiosim.Trace.delivered.(0) with
+                | Some (M.Data p) ->
+                    incr receptions;
+                    if p.M.src = 1 then incr from_v
+                | _ -> ()
+              end
+            in
+            let senders = List.init delta (fun i -> i + 1) in
+            let (_ : L.Lb_spec.report * L.Lb_env.entry list) =
+              run_lb_trial ~observer ~dual ~params ~senders ~phases ~seed ()
+            in
+            (!body_rounds, !receptions, !from_v))
       in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 73) + delta in
-          let senders = List.init delta (fun i -> i + 1) in
-          let (_ : L.Lb_spec.report * L.Lb_env.entry list) =
-            run_lb_trial ~observer ~dual ~params ~senders ~phases ~seed ()
-          in
-          ())
-        (List.init trials (fun _ -> ()));
+      let body_rounds = ref 0 and receptions = ref 0 and from_v = ref 0 in
+      List.iter
+        (fun (b, r, f) ->
+          body_rounds := !body_rounds + b;
+          receptions := !receptions + r;
+          from_v := !from_v + f)
+        samples;
       let p_u = float_of_int !receptions /. float_of_int (max 1 !body_rounds) in
       let p_uv = float_of_int !from_v /. float_of_int (max 1 !body_rounds) in
       let log_inv2 = log (1.0 /. params.Params.eps2) /. log 2.0 in

@@ -28,23 +28,29 @@ let run () =
   let sizes = if !quick then [ 50; 200 ] else [ 50; 100; 200; 400 ] in
   List.iter
     (fun n ->
+      let samples =
+        run_trials ~salt:n ~n:trials (fun ~trial:_ ~seed ->
+            let side = sqrt (float_of_int n /. 4.0) in
+            let dual =
+              Geo.random_field ~rng:(Prng.Rng.of_int seed) ~n ~width:side
+                ~height:side ~r:1.5 ~gray_g':0.5 ()
+            in
+            let senders = List.init (max 1 (n / 10)) (fun i -> i * 10) in
+            let report, _ = run_lb_trial ~dual ~params ~senders ~phases ~seed () in
+            ( report.L.Lb_spec.progress_opportunities,
+              report.L.Lb_spec.progress_failures,
+              report.L.Lb_spec.validity_violations,
+              report.L.Lb_spec.late_ack_count ))
+      in
       let opportunities = ref 0 and failures = ref 0 in
       let validity = ref 0 and late = ref 0 in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 97) + n in
-          let side = sqrt (float_of_int n /. 4.0) in
-          let dual =
-            Geo.random_field ~rng:(Prng.Rng.of_int seed) ~n ~width:side
-              ~height:side ~r:1.5 ~gray_g':0.5 ()
-          in
-          let senders = List.init (max 1 (n / 10)) (fun i -> i * 10) in
-          let report, _ = run_lb_trial ~dual ~params ~senders ~phases ~seed () in
-          opportunities := !opportunities + report.L.Lb_spec.progress_opportunities;
-          failures := !failures + report.L.Lb_spec.progress_failures;
-          validity := !validity + report.L.Lb_spec.validity_violations;
-          late := !late + report.L.Lb_spec.late_ack_count)
-        (List.init trials (fun _ -> ()));
+      List.iter
+        (fun (opps, fails, viol, late_acks) ->
+          opportunities := !opportunities + opps;
+          failures := !failures + fails;
+          validity := !validity + viol;
+          late := !late + late_acks)
+        samples;
       Table.add_row table
         [
           Table.cell_int n;

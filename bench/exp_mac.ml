@@ -30,25 +30,29 @@ let run () =
       let params = Params.of_dual ~eps1:0.1 ~tack_phases:3 dual in
       let f_ack = Params.t_ack_rounds params in
       let hops = n - 1 in
+      let samples =
+        run_trials ~salt:n ~n:trials (fun ~trial:_ ~seed ->
+            let result =
+              Macapps.Flood.run ~params
+                ~rng:(Prng.Rng.of_int seed)
+                ~dual
+                ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+                ~source:0
+                ~max_rounds:(50 * n * params.Params.phase_len)
+                ()
+            in
+            ( result.Macapps.Flood.covered_count,
+              result.Macapps.Flood.completion_round ))
+      in
       let completions = ref [] and covered = ref 0 and total = ref 0 in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 151) + n in
-          let result =
-            Macapps.Flood.run ~params
-              ~rng:(Prng.Rng.of_int seed)
-              ~dual
-              ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
-              ~source:0
-              ~max_rounds:(50 * n * params.Params.phase_len)
-              ()
-          in
-          covered := !covered + result.Macapps.Flood.covered_count;
+      List.iter
+        (fun (cov, completion) ->
+          covered := !covered + cov;
           total := !total + n;
-          match result.Macapps.Flood.completion_round with
+          match completion with
           | Some round -> completions := float_of_int round :: !completions
           | None -> ())
-        (List.init trials (fun _ -> ()));
+        samples;
       let mean_completion =
         if !completions = [] then Float.nan else Stats.Summary.mean !completions
       in

@@ -73,10 +73,10 @@ let e16a () =
       ~columns:
         [ "active m"; "p=1/2"; "p=1/8"; "p=1/64"; "decay (log-sweep)" ]
   in
+  (* Same salt for every (m, p) cell: columns are paired comparisons. *)
   let mean f =
     mean_option_latency ~max_rounds
-      (Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
-           f ~seed))
+      (run_trials ~n:trials (fun ~trial:_ ~seed -> f ~seed))
   in
   List.iter
     (fun m ->
@@ -136,7 +136,7 @@ let e16b () =
     (fun delta ->
       let max_rounds = 400_000 in
       let latencies =
-        Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
+        run_trials ~salt:delta ~n:trials (fun ~trial:_ ~seed ->
             all_messages_latency ~delta ~seed ~max_rounds)
       in
       let mean = mean_option_latency ~max_rounds latencies in

@@ -85,10 +85,8 @@ let run () =
     (fun delta ->
       let dual = Geo.clique (delta + 1) in
       let params = Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
-      let sample f =
-        Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
-            f ~seed)
-      in
+      (* Same salt for both seed sources: paired per-trial seeds. *)
+      let sample f = run_trials ~n:trials (fun ~trial:_ ~seed -> f ~seed) in
       let measure source_of =
         let rates =
           sample (fun ~seed ->

@@ -21,50 +21,67 @@ let run () =
      the largest per-region leader count.";
   let trials = trials_scaled 15 in
   let eps = 0.05 in
+  let samples =
+    run_trials ~n:trials (fun ~trial:_ ~seed ->
+        let dual = random_field ~seed ~n:60 ~width:4.5 () in
+        let params = Params.make_seed ~eps ~delta:(Dual.delta dual) ~kappa:8 () in
+        let probe = Probe.create params ~dual ~rng:(Prng.Rng.of_int seed) in
+        let (_ : int) =
+          Radiosim.Engine.run ~dual
+            ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+            ~nodes:(Probe.nodes probe)
+            ~env:(Radiosim.Env.null ~name:"probe" ())
+            ~rounds:(Params.seed_duration params)
+            ()
+        in
+        let regions = Probe.regions probe in
+        let snapshots =
+          List.map
+            (fun s ->
+              let probs = ref [] and good = ref 0 and total = ref 0 in
+              let max_leaders = ref 0 in
+              for x = 0 to Region.region_count regions - 1 do
+                probs := Probe.cumulative_probability s x :: !probs;
+                incr total;
+                if Probe.is_good ~eps ~c2:4.0 s x then incr good;
+                if s.Probe.leaders_per_region.(x) > !max_leaders then
+                  max_leaders := s.Probe.leaders_per_region.(x)
+              done;
+              (s.Probe.phase, !probs, !good, !total, !max_leaders))
+            (Probe.snapshots probe)
+        in
+        let trial_max_total =
+          Array.fold_left max 0 (Probe.total_leaders_per_region probe)
+        in
+        (params.Params.phases, snapshots, trial_max_total))
+  in
   let per_phase : (int, float list ref * int ref * int ref * int ref) Hashtbl.t =
     Hashtbl.create 8
   in
   let max_total_leaders = ref 0 in
   let phase_count = ref 0 in
-  List.iteri
-    (fun trial () ->
-      let seed = master_seed + (trial * 193) in
-      let dual = random_field ~seed ~n:60 ~width:4.5 () in
-      let params = Params.make_seed ~eps ~delta:(Dual.delta dual) ~kappa:8 () in
-      phase_count := params.Params.phases;
-      let probe = Probe.create params ~dual ~rng:(Prng.Rng.of_int seed) in
-      let (_ : int) =
-        Radiosim.Engine.run ~dual
-          ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
-          ~nodes:(Probe.nodes probe)
-          ~env:(Radiosim.Env.null ~name:"probe" ())
-          ~rounds:(Params.seed_duration params)
-          ()
-      in
-      let regions = Probe.regions probe in
+  List.iter
+    (fun (phases, snapshots, trial_max_total) ->
+      phase_count := phases;
+      if trial_max_total > !max_total_leaders then
+        max_total_leaders := trial_max_total;
       List.iter
-        (fun s ->
+        (fun (phase, trial_probs, trial_good, trial_total, trial_max) ->
           let slot =
-            match Hashtbl.find_opt per_phase s.Probe.phase with
+            match Hashtbl.find_opt per_phase phase with
             | Some slot -> slot
             | None ->
                 let slot = (ref [], ref 0, ref 0, ref 0) in
-                Hashtbl.add per_phase s.Probe.phase slot;
+                Hashtbl.add per_phase phase slot;
                 slot
           in
           let probs, good, total, max_leaders = slot in
-          for x = 0 to Region.region_count regions - 1 do
-            probs := Probe.cumulative_probability s x :: !probs;
-            incr total;
-            if Probe.is_good ~eps ~c2:4.0 s x then incr good;
-            if s.Probe.leaders_per_region.(x) > !max_leaders then
-              max_leaders := s.Probe.leaders_per_region.(x)
-          done)
-        (Probe.snapshots probe);
-      Array.iter
-        (fun t -> if t > !max_total_leaders then max_total_leaders := t)
-        (Probe.total_leaders_per_region probe))
-    (List.init trials (fun _ -> ()));
+          probs := trial_probs @ !probs;
+          good := !good + trial_good;
+          total := !total + trial_total;
+          if trial_max > !max_leaders then max_leaders := trial_max)
+        snapshots)
+    samples;
   let table =
     Table.create ~title:"E12: per-phase region statistics"
       ~columns:

@@ -20,7 +20,7 @@ module Table = Stats.Table
 (* Neighborhood owner statistics across trials. *)
 let owner_stats ~dual ~params ~delta_bound ~trials =
   let outcomes =
-    Stats.Experiment.trials ~seed:master_seed ~n:trials (fun ~trial:_ ~seed ->
+    run_trials ~n:trials (fun ~trial:_ ~seed ->
         run_seed_trial ~dual ~params ~delta_bound
           ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
           ~seed)
@@ -150,27 +150,35 @@ let e3 () =
     (fun eps ->
       List.iter
         (fun (topo_name, sched_name, scheduler_of) ->
+          let samples =
+            run_trials ~n:trials (fun ~trial:_ ~seed ->
+                let dual = random_field ~seed ~n:50 () in
+                let params =
+                  Params.make_seed ~eps ~delta:(Dual.delta dual) ~kappa:16 ()
+                in
+                let r = Dual.r dual in
+                let delta_bound =
+                  max 1
+                    (int_of_float
+                       (Float.ceil
+                          (6.0 *. r *. r *. (log (1.0 /. eps) /. log 2.0))))
+                in
+                let outcome =
+                  run_seed_trial ~dual ~params ~delta_bound
+                    ~scheduler:(scheduler_of seed) ~seed
+                in
+                ( outcome.seed_report.L.Seed_spec.violation_count,
+                  Dual.n dual,
+                  delta_bound ))
+          in
           let failures = ref 0 and node_trials = ref 0 in
           let delta_bound = ref 0 in
-          List.iteri
-            (fun trial () ->
-              let seed = master_seed + (trial * 7919) in
-              let dual = random_field ~seed ~n:50 () in
-              let params =
-                Params.make_seed ~eps ~delta:(Dual.delta dual) ~kappa:16 ()
-              in
-              let r = Dual.r dual in
-              delta_bound :=
-                max 1
-                  (int_of_float
-                     (Float.ceil (6.0 *. r *. r *. (log (1.0 /. eps) /. log 2.0))));
-              let outcome =
-                run_seed_trial ~dual ~params ~delta_bound:!delta_bound
-                  ~scheduler:(scheduler_of seed) ~seed
-              in
-              failures := !failures + outcome.seed_report.L.Seed_spec.violation_count;
-              node_trials := !node_trials + Dual.n dual)
-            (List.init trials (fun _ -> ()));
+          List.iter
+            (fun (violations, nodes, bound) ->
+              failures := !failures + violations;
+              node_trials := !node_trials + nodes;
+              delta_bound := bound)
+            samples;
           let ci =
             Stats.Ci.wilson ~successes:!failures ~trials:!node_trials ()
           in
@@ -194,29 +202,39 @@ let e4 () =
   let trials = trials_scaled 40 in
   let dual = Geo.clique 8 in
   let params = Params.make_seed ~eps:0.1 ~delta:8 ~kappa:128 () in
+  let samples =
+    run_trials ~n:trials (fun ~trial:_ ~seed ->
+        let outcome =
+          run_seed_trial ~dual ~params ~delta_bound:8
+            ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+            ~seed
+        in
+        let by_owner = Hashtbl.create 8 in
+        let firsts = ref [] in
+        Array.iter
+          (List.iter (fun (_, ({ Localcast.Messages.owner; seed = s } as a)) ->
+               if not (Hashtbl.mem by_owner owner) then begin
+                 Hashtbl.add by_owner owner s;
+                 firsts := a :: !firsts
+               end))
+          outcome.decisions;
+        let seeds = Hashtbl.fold (fun _ s acc -> s :: acc) by_owner [] in
+        let agreement =
+          match seeds with
+          | a :: b :: _ -> Some (L.Seed_spec.cross_agreement a b)
+          | _ -> None
+        in
+        (!firsts, agreement))
+  in
   let announcements = ref [] in
   let agreements = ref [] in
-  List.iteri
-    (fun trial () ->
-      let seed = master_seed + (trial * 104729) in
-      let outcome =
-        run_seed_trial ~dual ~params ~delta_bound:8
-          ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
-          ~seed
-      in
-      let by_owner = Hashtbl.create 8 in
-      Array.iter
-        (List.iter (fun (_, ({ Localcast.Messages.owner; seed = s } as a)) ->
-             if not (Hashtbl.mem by_owner owner) then begin
-               Hashtbl.add by_owner owner s;
-               announcements := a :: !announcements
-             end))
-        outcome.decisions;
-      let seeds = Hashtbl.fold (fun _ s acc -> s :: acc) by_owner [] in
-      match seeds with
-      | a :: b :: _ -> agreements := L.Seed_spec.cross_agreement a b :: !agreements
-      | _ -> ())
-    (List.init trials (fun _ -> ()));
+  List.iter
+    (fun (firsts, agreement) ->
+      announcements := firsts @ !announcements;
+      match agreement with
+      | Some a -> agreements := a :: !agreements
+      | None -> ())
+    samples;
   let balance = L.Seed_spec.bit_balance !announcements in
   let cross = Stats.Summary.of_list !agreements in
   let table =

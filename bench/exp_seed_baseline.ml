@@ -73,22 +73,30 @@ let run () =
     let distances = List.concat_map owner_distances decisions_list in
     (Stats.Summary.of_list maxima, Stats.Summary.of_list distances)
   in
-  let field_for trial = random_field ~seed:(master_seed + (trial * 389)) ~n:50 () in
+  (* Both algorithms derive the trial's field from the runner's per-trial
+     seed with the same salt, so SeedAlg and gossip face identical
+     topologies and seeds — a paired comparison. *)
   (* SeedAlg row *)
-  let seedalg_results = ref [] in
-  let seedalg_rounds = ref 0 in
-  for trial = 1 to trials do
-    let dual = field_for trial in
-    let params = Params.make_seed ~eps:0.05 ~delta:(Dual.delta dual) ~kappa:16 () in
-    seedalg_rounds := L.Seed_alg.duration params;
-    let outcome =
-      run_seed_trial ~dual ~params ~delta_bound:1000
-        ~scheduler:(Sch.bernoulli ~seed:trial ~p:0.5)
-        ~seed:(master_seed + trial)
-    in
-    seedalg_results := (dual, outcome.decisions) :: !seedalg_results
-  done;
-  let s, d = summarize !seedalg_results in
+  let seedalg_samples =
+    run_trials ~n:trials (fun ~trial:_ ~seed ->
+        let dual = random_field ~seed ~n:50 () in
+        let params =
+          Params.make_seed ~eps:0.05 ~delta:(Dual.delta dual) ~kappa:16 ()
+        in
+        let outcome =
+          run_seed_trial ~dual ~params ~delta_bound:1000
+            ~scheduler:(Sch.bernoulli ~seed ~p:0.5)
+            ~seed
+        in
+        (dual, outcome.decisions, L.Seed_alg.duration params))
+  in
+  let seedalg_results =
+    List.rev_map (fun (dual, decisions, _) -> (dual, decisions)) seedalg_samples
+  in
+  let seedalg_rounds =
+    ref (List.fold_left (fun _ (_, _, d) -> d) 0 seedalg_samples)
+  in
+  let s, d = summarize seedalg_results in
   Table.add_row table
     [
       "SeedAlg";
@@ -101,18 +109,15 @@ let run () =
   (* Gossip rows at 1x and 4x the SeedAlg budget *)
   List.iter
     (fun multiplier ->
-      let results = ref [] in
-      let rounds = ref 0 in
-      for trial = 1 to trials do
-        let dual = field_for trial in
-        rounds := multiplier * !seedalg_rounds;
-        let p = 1.0 /. float_of_int (Dual.delta dual) in
-        let decisions =
-          run_gossip ~dual ~rounds:!rounds ~p ~seed:(master_seed + trial)
-        in
-        results := (dual, decisions) :: !results
-      done;
-      let s, d = summarize !results in
+      let rounds = ref (multiplier * !seedalg_rounds) in
+      let results =
+        run_trials ~n:trials (fun ~trial:_ ~seed ->
+            let dual = random_field ~seed ~n:50 () in
+            let p = 1.0 /. float_of_int (Dual.delta dual) in
+            let decisions = run_gossip ~dual ~rounds:!rounds ~p ~seed in
+            (dual, decisions))
+      in
+      let s, d = summarize results in
       Table.add_row table
         [
           Printf.sprintf "gossip %dx" multiplier;

@@ -30,29 +30,39 @@ let run () =
   let fractions = if !quick then [ 0.1; 0.6 ] else [ 0.05; 0.1; 0.25; 0.5; 1.0 ] in
   List.iter
     (fun fraction ->
+      let k = max 1 (int_of_float (Float.round (fraction *. 40.0))) in
+      let samples =
+        run_trials
+          ~salt:(int_of_float (fraction *. 100.0))
+          ~n:trials
+          (fun ~trial:_ ~seed ->
+            let dual = random_field ~seed ~n:40 () in
+            let params = Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
+            let senders = List.init k (fun i -> i * 40 / k) in
+            let report, _ = run_lb_trial ~dual ~params ~senders ~phases ~seed () in
+            ( report.L.Lb_spec.progress_opportunities,
+              report.L.Lb_spec.progress_failures,
+              report.L.Lb_spec.reliability_attempts,
+              report.L.Lb_spec.reliability_failures,
+              report.L.Lb_spec.ack_count,
+              report.L.Lb_spec.rounds_observed,
+              List.map float_of_int report.L.Lb_spec.progress_latencies ))
+      in
       let opportunities = ref 0 and failures = ref 0 in
       let attempts = ref 0 and rel_failures = ref 0 in
       let acks = ref 0 and rounds_total = ref 0 in
       let latencies = ref [] in
-      let sender_count = ref 0 in
-      List.iteri
-        (fun trial () ->
-          let seed = master_seed + (trial * 211) + int_of_float (fraction *. 100.0) in
-          let dual = random_field ~seed ~n:40 () in
-          let params = Params.of_dual ~eps1:0.1 ~tack_phases:2 dual in
-          let k = max 1 (int_of_float (Float.round (fraction *. 40.0))) in
-          sender_count := k;
-          let senders = List.init k (fun i -> i * 40 / k) in
-          let report, _ = run_lb_trial ~dual ~params ~senders ~phases ~seed () in
-          opportunities := !opportunities + report.L.Lb_spec.progress_opportunities;
-          failures := !failures + report.L.Lb_spec.progress_failures;
-          attempts := !attempts + report.L.Lb_spec.reliability_attempts;
-          rel_failures := !rel_failures + report.L.Lb_spec.reliability_failures;
-          acks := !acks + report.L.Lb_spec.ack_count;
-          rounds_total := !rounds_total + report.L.Lb_spec.rounds_observed;
-          latencies :=
-            List.map float_of_int report.L.Lb_spec.progress_latencies @ !latencies)
-        (List.init trials (fun _ -> ()));
+      let sender_count = ref k in
+      List.iter
+        (fun (opps, fails, atts, rfails, ack, rounds, lats) ->
+          opportunities := !opportunities + opps;
+          failures := !failures + fails;
+          attempts := !attempts + atts;
+          rel_failures := !rel_failures + rfails;
+          acks := !acks + ack;
+          rounds_total := !rounds_total + rounds;
+          latencies := lats @ !latencies)
+        samples;
       let p90 =
         if !latencies = [] then Float.nan
         else (Stats.Summary.of_list !latencies).Stats.Summary.p90

@@ -65,11 +65,18 @@ let () =
         "GROUP run only this experiment group (e1-e4, e5-e7, e8, e9, e10, e11, \
          e12, e13, e14, e15, e16, e17, e18, e19, micro); repeatable" );
       ("--quick", Arg.Set Exp_common.quick, " reduced trial counts");
+      ( "--domains",
+        Arg.Int
+          (fun d ->
+            if d < 1 then raise (Arg.Bad "--domains: need at least 1 domain");
+            Exp_common.domains := d),
+        "N worker domains for trial execution (default 1, or \
+         LOCALCAST_DOMAINS); tables are bit-identical at any value" );
     ]
   in
   Arg.parse spec
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
-    "bench/main.exe [--quick] [--only GROUP]";
+    "bench/main.exe [--quick] [--domains N] [--only GROUP]";
   let selected =
     match !only with
     | [] -> groups
@@ -84,9 +91,11 @@ let () =
           List.filter (fun g -> List.memq g picked) groups
   in
   Printf.printf
-    "Local broadcast layer: experiment harness (master seed %d%s)\n%!"
+    "Local broadcast layer: experiment harness (master seed %d%s, %d domain%s)\n%!"
     Exp_common.master_seed
-    (if !Exp_common.quick then ", quick mode" else "");
+    (if !Exp_common.quick then ", quick mode" else "")
+    !Exp_common.domains
+    (if !Exp_common.domains = 1 then "" else "s");
   let total_start = Unix.gettimeofday () in
   List.iter
     (fun (name, run) ->

@@ -98,13 +98,29 @@ let body_action state =
       in
       if not participant then P.Listen
       else begin
-        (* Step 3: shared probability level, then local coins. *)
+        (* Step 3: shared probability level, then local coins.  The
+           level must be uniform in [1, log Δ]; reducing one draw mod
+           log Δ would skew toward small levels whenever 2^level_bits is
+           not a multiple of log Δ, so we rejection-sample: accept the
+           first draw below the largest multiple of log Δ (uniform after
+           reduction), over a fixed budget of level_draws draws so every
+           group member consumes the same shared bits.  If all draws
+           land in the short biased tail (probability < 2^-level_draws),
+           fall back to the last draw reduced mod log Δ. *)
         let b =
           if params.Params.level_bits = 0 then 1
-          else
-            (Prng.Bitstring.take_int cursor params.Params.level_bits
-            mod params.Params.log_delta)
-            + 1
+          else begin
+            let m = params.Params.log_delta in
+            let limit = (1 lsl params.Params.level_bits) / m * m in
+            let chosen = ref (-1) in
+            let last = ref 0 in
+            for _ = 1 to params.Params.level_draws do
+              let v = Prng.Bitstring.take_int cursor params.Params.level_bits in
+              last := v;
+              if !chosen < 0 && v < limit then chosen := v
+            done;
+            (if !chosen >= 0 then !chosen mod m else !last mod m) + 1
+          end
         in
         match state.mode with
         | Sending { message; _ } when Prng.Rng.geometric_trial state.rng b ->

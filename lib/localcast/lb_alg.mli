@@ -12,10 +12,11 @@
       abstain together, restoring independence from the oblivious link
       schedule;
     + if a non-participant, listens;
-    + if a participant, consumes [level_bits] shared bits to pick a
-      probability level [b ∈ \[log Δ\]], then flips [b] {e local} fair
-      coins and transmits its message iff all landed zero (probability
-      [2^{-b}]).
+    + if a participant, consumes [level_draws × level_bits] shared bits
+      to pick a uniform probability level [b ∈ \[log Δ\]] (fixed-budget
+      rejection sampling — see {!Params.t.level_draws}), then flips [b]
+      {e local} fair coins and transmits its message iff all landed zero
+      (probability [2^{-b}]).
 
     A node in receiving state listens through the body.  Every clean
     reception of a not-previously-seen message yields a [Recv] output.

@@ -58,6 +58,7 @@ type t = {
   tack_phases : int;
   participant_bits : int;
   level_bits : int;
+  level_draws : int;
   delta_bound : int;
   seed_refresh : int;
 }
@@ -84,6 +85,17 @@ let make ?(calibration = default_calibration) ?tack_phases ?(seed_refresh = 1) ~
     if log_delta <= 1 then 0
     else max 1 (int_of_float (Float.ceil (log2f (float_of_int log_delta))))
   in
+  (* Number of [level_bits]-wide draws consumed per body round for the
+     level pick.  When 2^level_bits is a multiple of log Δ a single draw
+     reduced mod log Δ is exactly uniform; otherwise the reduction is
+     biased toward small levels, so LBAlg instead rejection-samples
+     within a fixed budget of draws (fixed, so that every member of a
+     seed group consumes the same bits and κ can be sized exactly).
+     Each draw is accepted with probability > 1/2, leaving a residual
+     fallback bias below 2^-level_draws. *)
+  let level_draws =
+    if level_bits = 0 || (1 lsl level_bits) mod log_delta = 0 then 1 else 4
+  in
   let tprog =
     max 1
       (int_of_float
@@ -95,7 +107,7 @@ let make ?(calibration = default_calibration) ?tack_phases ?(seed_refresh = 1) ~
      phase contributes Tprog body rounds, and each of the seed_refresh - 1
      preamble-free phases contributes Ts + Tprog.  Ts depends only on ε₂
      and Δ, so it can be computed before κ. *)
-  let bits_per_round = participant_bits + level_bits in
+  let bits_per_round = participant_bits + (level_draws * level_bits) in
   let ts =
     seed_duration (make_seed ~calibration ~eps:eps2 ~delta ~kappa:1 ())
   in
@@ -141,6 +153,7 @@ let make ?(calibration = default_calibration) ?tack_phases ?(seed_refresh = 1) ~
     tack_phases;
     participant_bits;
     level_bits;
+    level_draws;
     delta_bound;
     seed_refresh;
   }
@@ -165,8 +178,8 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>lb params: Δ=%d Δ'=%d r=%.2f ε₁=%.4f ε₂=%.4f logΔ=%d@,\
      %a@,\
-     Tprog=%d phase_len=%d Tack=%d phases d=%d level_bits=%d δ=%d@,\
+     Tprog=%d phase_len=%d Tack=%d phases d=%d level_bits=%dx%d δ=%d@,\
      t_prog=%d t_ack=%d@]"
     t.delta t.delta' t.r t.eps1 t.eps2 t.log_delta pp_seed t.seed t.tprog
-    t.phase_len t.tack_phases t.participant_bits t.level_bits t.delta_bound
-    (t_prog_rounds t) (t_ack_rounds t)
+    t.phase_len t.tack_phases t.participant_bits t.level_draws t.level_bits
+    t.delta_bound (t_prog_rounds t) (t_ack_rounds t)

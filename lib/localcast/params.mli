@@ -76,7 +76,17 @@ type t = {
           2^-d ∈ [1/(2 r² log(1/ε₂)), 1/(r² log(1/ε₂))] — the paper's
           [a / (r² log(1/ε₂))] with a ∈ \[1, 2) *)
   level_bits : int;
-      (** shared bits selecting the probability level b ∈ [log Δ] *)
+      (** width (in shared bits) of one draw selecting the probability
+          level b ∈ [log Δ] *)
+  level_draws : int;
+      (** number of [level_bits]-wide draws consumed per body round for
+          the level pick: 1 when 2^level_bits is a multiple of log Δ
+          (a single reduced draw is exactly uniform), else a fixed
+          rejection budget — the first in-range draw wins, every draw is
+          accepted w.p. > 1/2, and the residual bias of the mod-reduced
+          fallback is below 2^-level_draws.  The budget is fixed (not
+          open-ended rejection) so all members of a seed group consume
+          identical bit counts and κ is sized exactly. *)
   delta_bound : int;  (** δ checked by the Seed spec: c_delta · r² · log(1/ε₂) *)
   seed_refresh : int;
       (** run the SeedAlg preamble every [seed_refresh]-th phase (§4.2's

@@ -9,7 +9,9 @@ let bits64 = Splitmix.next
 let bool t = Int64.logand (Splitmix.next t) 1L = 1L
 
 let bits t k =
-  assert (k >= 0 && k <= 30);
+  (* 62 is the widest width whose values are all non-negative OCaml ints
+     on 64-bit platforms (an int has 63 value bits including the sign). *)
+  assert (k >= 0 && k <= 62);
   if k = 0 then 0
   else Int64.to_int (Int64.shift_right_logical (Splitmix.next t) (64 - k))
 
@@ -17,9 +19,12 @@ let int t n =
   assert (n > 0);
   if n = 1 then 0
   else begin
-    (* Rejection sampling on the smallest power-of-two envelope of [n]. *)
+    (* Rejection sampling on the smallest power-of-two envelope of [n].
+       The envelope is capped at 62 bits, which covers every positive
+       OCaml int (max_int = 2^62 - 1); [1 lsl k] must not be evaluated
+       at k = 62, where it would overflow to min_int. *)
     let k =
-      let rec width k = if 1 lsl k >= n then k else width (k + 1) in
+      let rec width k = if k >= 62 || 1 lsl k >= n then k else width (k + 1) in
       width 1
     in
     let rec draw () =

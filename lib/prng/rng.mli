@@ -26,11 +26,13 @@ val bool : t -> bool
 (** A fair coin. *)
 
 val bits : t -> int -> int
-(** [bits t k] is a uniform integer in [\[0, 2^k)], for [0 <= k <= 30]. *)
+(** [bits t k] is a uniform integer in [\[0, 2^k)], for [0 <= k <= 62]
+    (the full non-negative range of a 64-bit-platform OCaml int). *)
 
 val int : t -> int -> int
-(** [int t n] is uniform in [\[0, n)].  Requires [n > 0].  Uses rejection
-    sampling, so the distribution is exactly uniform. *)
+(** [int t n] is uniform in [\[0, n)].  Requires [n > 0]; any positive
+    OCaml int (up to [max_int]) is accepted.  Uses rejection sampling,
+    so the distribution is exactly uniform. *)
 
 val int_in_range : t -> min:int -> max:int -> int
 (** Uniform in the inclusive range [\[min, max\]].  Requires [min <= max]. *)

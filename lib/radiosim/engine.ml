@@ -2,6 +2,8 @@ module Dual = Dualgraph.Dual
 
 (* Per-node incidence of unreliable edges: (neighbor, edge index) pairs,
    where the index refers to [Dual.unreliable_edges]. *)
+type incidence = (int * int) array array
+
 let unreliable_incidence dual =
   let n = Dual.n dual in
   let incident = Array.make n [] in
@@ -24,54 +26,82 @@ let run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop () =
     invalid_arg "Engine.run: node array size differs from vertex count";
   if rounds < 0 then invalid_arg "Engine.run: negative round count";
   let incident = unreliable_incidence dual in
+  (* A round record can escape the loop only through [observer] or
+     [stop]; when neither is supplied, the per-round arrays are reused
+     across rounds instead of being reallocated (the engine's dominant
+     allocation cost on long unobserved runs). *)
+  let record_escapes = observer <> None || stop <> None in
+  let buffers = ref None in
   let executed = ref 0 in
   let continue = ref true in
   let round = ref 0 in
   while !continue && !round < rounds do
     let t = !round in
     (* Step 1 + 2: inputs, then transmit/listen decisions. *)
-    let inputs = Array.init n (fun v -> env.Env.inputs ~round:t ~node:v) in
-    let actions =
-      Array.mapi (fun v node -> node.Process.decide ~round:t inputs.(v)) nodes
-    in
-    let transmitting =
-      Array.map
-        (function Process.Transmit _ -> true | Process.Listen -> false)
-        actions
+    let inputs, actions, transmitting, delivered, outputs =
+      match !buffers with
+      | Some ((inputs, actions, transmitting, _, _) as b) ->
+          for v = 0 to n - 1 do
+            inputs.(v) <- env.Env.inputs ~round:t ~node:v
+          done;
+          for v = 0 to n - 1 do
+            let a = nodes.(v).Process.decide ~round:t inputs.(v) in
+            actions.(v) <- a;
+            transmitting.(v) <-
+              (match a with Process.Transmit _ -> true | Process.Listen -> false)
+          done;
+          b
+      | None ->
+          let inputs = Array.init n (fun v -> env.Env.inputs ~round:t ~node:v) in
+          let actions =
+            Array.mapi (fun v node -> node.Process.decide ~round:t inputs.(v)) nodes
+          in
+          let transmitting =
+            Array.map
+              (function Process.Transmit _ -> true | Process.Listen -> false)
+              actions
+          in
+          let delivered = Array.make n None in
+          let outputs = Array.make n [] in
+          let b = (inputs, actions, transmitting, delivered, outputs) in
+          if not record_escapes then buffers := Some b;
+          b
     in
     let active = edge_active ~round:t ~transmitting in
     (* Step 3: receptions under the round's topology. *)
-    let delivered =
-      Array.init n (fun u ->
-          match actions.(u) with
-          | Process.Transmit _ -> None
-          | Process.Listen ->
-              let heard = ref None in
-              let collided = ref false in
-              let consider v =
-                match actions.(v) with
-                | Process.Listen -> ()
-                | Process.Transmit m -> (
-                    match !heard with
-                    | None -> heard := Some m
-                    | Some _ -> collided := true)
-              in
-              Array.iter consider (Dual.reliable_neighbors dual u);
-              Array.iter
-                (fun (v, edge) -> if active ~edge then consider v)
-                incident.(u);
-              if !collided then None else !heard)
-    in
+    for u = 0 to n - 1 do
+      delivered.(u) <-
+        (match actions.(u) with
+        | Process.Transmit _ -> None
+        | Process.Listen ->
+            let heard = ref None in
+            let collided = ref false in
+            let consider v =
+              match actions.(v) with
+              | Process.Listen -> ()
+              | Process.Transmit m -> (
+                  match !heard with
+                  | None -> heard := Some m
+                  | Some _ -> collided := true)
+            in
+            Array.iter consider (Dual.reliable_neighbors dual u);
+            Array.iter
+              (fun (v, edge) -> if active ~edge then consider v)
+              incident.(u);
+            if !collided then None else !heard)
+    done;
     (* Step 4: outputs, consumed by the environment. *)
-    let outputs =
-      Array.mapi (fun v node -> node.Process.absorb ~round:t delivered.(v)) nodes
-    in
+    for v = 0 to n - 1 do
+      outputs.(v) <- nodes.(v).Process.absorb ~round:t delivered.(v)
+    done;
     Array.iteri
       (fun v outs -> if outs <> [] then env.Env.notify ~round:t ~node:v outs)
       outputs;
-    let record = { Trace.round = t; inputs; actions; delivered; outputs } in
-    (match observer with Some f -> f record | None -> ());
-    (match stop with Some p when p record -> continue := false | _ -> ());
+    if record_escapes then begin
+      let record = { Trace.round = t; inputs; actions; delivered; outputs } in
+      (match observer with Some f -> f record | None -> ());
+      match stop with Some p when p record -> continue := false | _ -> ()
+    end;
     incr executed;
     incr round
   done;
@@ -89,11 +119,18 @@ let run_adaptive ?observer ?stop ~dual ~adversary ~nodes ~env ~rounds () =
   in
   run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop ()
 
-let transmitter_counts ~dual ~scheduler ~round ~transmitting =
+let transmitter_counts ?incidence ~dual ~scheduler ~round ~transmitting () =
   let n = Dual.n dual in
   if Array.length transmitting <> n then
     invalid_arg "Engine.transmitter_counts: size mismatch";
-  let incident = unreliable_incidence dual in
+  let incident =
+    match incidence with
+    | Some incident ->
+        if Array.length incident <> n then
+          invalid_arg "Engine.transmitter_counts: incidence/graph mismatch";
+        incident
+    | None -> unreliable_incidence dual
+  in
   Array.init n (fun u ->
       let count = ref 0 in
       Array.iter

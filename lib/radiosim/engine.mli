@@ -49,13 +49,28 @@ val run_adaptive :
     type of scheduler can never silently escalate into the stronger
     adversary. *)
 
+type incidence
+(** Precomputed per-node incidence of a dual graph's unreliable edges —
+    the data {!transmitter_counts} needs beyond the reliable adjacency.
+    Building it walks every unreliable edge (O(|E' \ E|)), so callers
+    that query many rounds of one topology should build it once with
+    {!unreliable_incidence} and pass it back in. *)
+
+val unreliable_incidence : Dualgraph.Dual.t -> incidence
+(** Precompute the unreliable-edge incidence of a topology, for reuse
+    across many {!transmitter_counts} queries. *)
+
 val transmitter_counts :
+  ?incidence:incidence ->
   dual:Dualgraph.Dual.t ->
   scheduler:Scheduler.t ->
   round:int ->
   transmitting:bool array ->
+  unit ->
   int array
 (** Diagnostic: for the given transmitting set, the number of
     topology-neighbors of each node that transmit in [round] (the
     contention each listener faces).  Used by tests to cross-check the
-    engine's collision rule. *)
+    engine's collision rule.  [incidence] must come from
+    {!unreliable_incidence} on the same [dual]; when absent it is
+    rebuilt on every call. *)

@@ -13,10 +13,6 @@ let reliable_only =
 let all_edges = { name = "all-edges"; active = (fun ~round:_ ~edge:_ -> true) }
 
 let bernoulli ~seed ~p =
-  let threshold =
-    (* Compare 53 hash bits against p, exactly mirroring Rng.float. *)
-    p
-  in
   let active ~round ~edge =
     let h =
       Prng.Splitmix.mix
@@ -24,8 +20,10 @@ let bernoulli ~seed ~p =
            (Int64.mul (Int64.of_int round) 0x100000001B3L)
            (Int64.of_int ((edge * 2654435761) + seed)))
     in
+    (* Scale 53 hash bits into [0, 1) and compare against [p], exactly
+       mirroring Rng.float / Rng.bernoulli. *)
     let v = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 in
-    v < threshold
+    v < p
   in
   { name = Printf.sprintf "bernoulli(p=%.2f)" p; active }
 

@@ -1,9 +1,43 @@
+(* One derived seed per trial.  The affine combination separates the
+   (master seed, trial) pairs; routing it through the SplitMix64
+   finalizer then decorrelates them, so nearby master seeds (or salted
+   variants of one master seed) cannot yield overlapping trial streams
+   the way the raw affine form could. *)
+let derived_seed ~seed ~trial =
+  let affine = (seed * 0x9E3779B1) + (trial * 0x85EBCA77) + 0x165667B1 in
+  (* [to_int] keeps the low 63 bits — deterministic on 64-bit platforms. *)
+  Int64.to_int (Prng.Splitmix.mix (Int64.of_int affine))
+
 let trials ~seed ~n f =
-  List.init n (fun trial ->
-      (* A fixed affine-then-mix derivation keeps trial seeds reproducible
-         and well separated. *)
-      let derived = (seed * 0x9E3779B1) + (trial * 0x85EBCA77) + 0x165667B1 in
-      f ~trial ~seed:derived)
+  List.init n (fun trial -> f ~trial ~seed:(derived_seed ~seed ~trial))
+
+let trials_par ?(domains = 1) ~seed ~n f =
+  if domains < 1 then invalid_arg "Experiment.trials_par: domains must be >= 1";
+  let workers = min domains n in
+  if workers <= 1 then trials ~seed ~n f
+  else begin
+    (* Static block partition of the trial indices over a small pool of
+       worker domains.  Each trial's seed depends only on its index, so
+       the partition cannot affect any result; slots are disjoint, so the
+       unsynchronized writes below are race-free. *)
+    let results = Array.make n None in
+    let chunk = (n + workers - 1) / workers in
+    let worker w () =
+      let lo = w * chunk in
+      let hi = min n (lo + chunk) in
+      for trial = lo to hi - 1 do
+        results.(trial) <- Some (f ~trial ~seed:(derived_seed ~seed ~trial))
+      done
+    in
+    (* The spawning domain takes the first block itself. *)
+    let spawned = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    List.init n (fun trial ->
+        match results.(trial) with
+        | Some r -> r
+        | None -> assert false (* every slot belongs to exactly one block *))
+  end
 
 let count p l = List.length (List.filter p l)
 

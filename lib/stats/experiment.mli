@@ -2,12 +2,27 @@
 
     Experiments repeat a randomized measurement across independently
     seeded trials and aggregate.  The runner derives one deterministic
-    sub-seed per trial from a master seed, so every table in
-    EXPERIMENTS.md is exactly reproducible. *)
+    sub-seed per trial from a master seed (an affine combination of seed
+    and trial index pushed through the SplitMix64 finalizer, so nearby
+    master seeds cannot produce overlapping trial streams), and every
+    table in EXPERIMENTS.md is exactly reproducible — including under
+    {!trials_par}, whose results are bit-identical to {!trials} at any
+    domain count. *)
 
 val trials : seed:int -> n:int -> (trial:int -> seed:int -> 'a) -> 'a list
 (** [trials ~seed ~n f] runs [f] for trials [0 .. n-1], each with its own
-    derived seed. *)
+    derived seed, and returns the results in trial order. *)
+
+val trials_par :
+  ?domains:int -> seed:int -> n:int -> (trial:int -> seed:int -> 'a) -> 'a list
+(** [trials_par ~domains ~seed ~n f] is observably identical to
+    [trials ~seed ~n f] — same derived seed per trial, results restored
+    to trial order — but partitions the trials over [domains] worker
+    domains (default [1], which runs sequentially without spawning).
+    [f] therefore runs concurrently with itself and must not share
+    mutable state across trials; make each trial return its measurements
+    and aggregate over the result list instead.  Raises
+    [Invalid_argument] if [domains < 1]. *)
 
 val count : ('a -> bool) -> 'a list -> int
 

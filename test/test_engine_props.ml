@@ -57,7 +57,7 @@ let expected_delivery ~dual ~scheduler ~record u =
       in
       let counts =
         Engine.transmitter_counts ~dual ~scheduler ~round:record.Trace.round
-          ~transmitting
+          ~transmitting ()
       in
       if counts.(u) <> 1 then None
       else begin

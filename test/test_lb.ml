@@ -65,12 +65,15 @@ let test_params_structure () =
   checki "log_delta of 8" 3 p.Params.log_delta;
   checkb "kappa covers body bits" true
     (p.Params.seed.Params.kappa
-    = p.Params.tprog * (p.Params.participant_bits + p.Params.level_bits))
+    = p.Params.tprog
+      * (p.Params.participant_bits + (p.Params.level_draws * p.Params.level_bits)))
 
 let test_params_kappa_refresh () =
   let base = Params.make ~delta:8 ~delta':8 ~r:1.0 ~eps1:0.1 () in
   let doubled = Params.make ~seed_refresh:2 ~delta:8 ~delta':8 ~r:1.0 ~eps1:0.1 () in
-  let bits = base.Params.participant_bits + base.Params.level_bits in
+  let bits =
+    base.Params.participant_bits + (base.Params.level_draws * base.Params.level_bits)
+  in
   checki "refresh=2 kappa"
     ((base.Params.tprog + (base.Params.ts + base.Params.tprog)) * bits)
     doubled.Params.seed.Params.kappa
@@ -78,8 +81,15 @@ let test_params_kappa_refresh () =
 let test_params_level_bits () =
   let p1 = Params.make ~delta:2 ~delta':2 ~r:1.0 ~eps1:0.1 () in
   checki "delta<=2 has no level bits" 0 p1.Params.level_bits;
+  checki "delta<=2 needs one (vacuous) draw" 1 p1.Params.level_draws;
   let p2 = Params.make ~delta:16 ~delta':16 ~r:1.0 ~eps1:0.1 () in
-  checki "delta=16: logΔ=4, 2 level bits" 2 p2.Params.level_bits
+  checki "delta=16: logΔ=4, 2 level bits" 2 p2.Params.level_bits;
+  checki "delta=16: 2^2 mod 4 = 0, single draw" 1 p2.Params.level_draws;
+  (* logΔ=3 does not divide 2^2: the level pick needs its rejection
+     budget to stay uniform. *)
+  let p3 = Params.make ~delta:8 ~delta':8 ~r:1.0 ~eps1:0.1 () in
+  checki "delta=8: logΔ=3, 2 level bits" 2 p3.Params.level_bits;
+  checki "delta=8: rejection budget" 4 p3.Params.level_draws
 
 let test_params_monotonicity () =
   let tprog ~delta ~eps1 =

@@ -81,6 +81,24 @@ let test_int_covers_support () =
   done;
   Array.iteri (fun i c -> checkb (Printf.sprintf "value %d drawn" i) true (c > 0)) hits
 
+let test_int_large_bounds () =
+  (* Regression: bounds above 2^30 used to trip the bits-width assert.
+     The envelope now covers any positive OCaml int (up to 62 bits). *)
+  let rng = Rng.of_int 61 in
+  List.iter
+    (fun n ->
+      for _ = 1 to 200 do
+        let v = Rng.int rng n in
+        checkb (Printf.sprintf "int %d in range" n) true (v >= 0 && v < n)
+      done)
+    [ (1 lsl 30) + 1; 1 lsl 40; (1 lsl 61) + 7; max_int ];
+  (* A draw above 2^31 is actually reachable, i.e. high bits are live. *)
+  let seen_high = ref false in
+  for _ = 1 to 1000 do
+    if Rng.int rng max_int > 1 lsl 31 then seen_high := true
+  done;
+  checkb "draws exceed 2^31" true !seen_high
+
 let test_int_in_range () =
   let rng = Rng.of_int 23 in
   for _ = 1 to 500 do
@@ -269,6 +287,7 @@ let suite =
       ("rng bits range", test_bits_range);
       ("rng int bounds", test_int_bounds);
       ("rng int covers support", test_int_covers_support);
+      ("rng int large bounds", test_int_large_bounds);
       ("rng int_in_range", test_int_in_range);
       ("rng float range", test_float_range);
       ("rng float mean", test_float_mean);

@@ -217,7 +217,7 @@ let test_transmitter_counts () =
   let transmitting = [| true; true; false; false |] in
   let counts =
     Engine.transmitter_counts ~dual ~scheduler:Sch.reliable_only ~round:0
-      ~transmitting
+      ~transmitting ()
   in
   Alcotest.check (Alcotest.array Alcotest.int) "counts" [| 1; 1; 2; 2 |] counts
 
@@ -225,14 +225,41 @@ let test_transmitter_counts_unreliable () =
   let dual = Geo.line ~n:3 ~spacing:0.9 ~r:2.0 () in
   let transmitting = [| true; false; false |] in
   let on =
-    Engine.transmitter_counts ~dual ~scheduler:Sch.all_edges ~round:0 ~transmitting
+    Engine.transmitter_counts ~dual ~scheduler:Sch.all_edges ~round:0
+      ~transmitting ()
   in
   let off =
     Engine.transmitter_counts ~dual ~scheduler:Sch.reliable_only ~round:0
-      ~transmitting
+      ~transmitting ()
   in
   checki "node 2 sees 0 over grey edge (on)" 1 on.(2);
   checki "node 2 sees nothing (off)" 0 off.(2)
+
+(* The precomputed-incidence fast path must agree with the naive path on
+   a topology with a real grey zone, for both an all-on and an all-off
+   scheduler. *)
+let test_transmitter_counts_incidence () =
+  let dual = Geo.random_field ~rng:(Prng.Rng.of_int 71) ~n:24 ~width:3.0
+      ~height:3.0 ~r:1.8 ~gray_g':0.6 ()
+  in
+  let n = Dual.n dual in
+  let incidence = Engine.unreliable_incidence dual in
+  let rng = Prng.Rng.of_int 72 in
+  for round = 0 to 9 do
+    let transmitting = Array.init n (fun _ -> Prng.Rng.bool rng) in
+    List.iter
+      (fun scheduler ->
+        let naive =
+          Engine.transmitter_counts ~dual ~scheduler ~round ~transmitting ()
+        in
+        let fast =
+          Engine.transmitter_counts ~incidence ~dual ~scheduler ~round
+            ~transmitting ()
+        in
+        Alcotest.check (Alcotest.array Alcotest.int)
+          "precomputed incidence matches naive path" naive fast)
+      [ Sch.all_edges; Sch.reliable_only; Sch.bernoulli ~seed:round ~p:0.5 ]
+  done
 
 (* --- trace utilities --- *)
 
@@ -325,6 +352,7 @@ let suite =
       ("engine determinism", test_engine_determinism);
       ("transmitter counts", test_transmitter_counts);
       ("transmitter counts unreliable", test_transmitter_counts_unreliable);
+      ("transmitter counts precomputed incidence", test_transmitter_counts_incidence);
       ("trace length/get", test_trace_length_get);
       ("trace queries", test_trace_queries);
       ("trace fold/iter", test_trace_fold_iter);
