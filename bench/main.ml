@@ -16,7 +16,7 @@
      E17     SeedAlg vs gossip seed agreement (baseline)
      E18     physical-layer flood vs MAC-layer flood
      E19     the geographic parameter r
-     micro   Bechamel micro-benchmarks M1-M4
+     micro   Bechamel micro-benchmarks M1-M6 (also writes BENCH_micro.json)
 
    Usage:
      dune exec bench/main.exe                # everything, full trials

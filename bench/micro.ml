@@ -1,7 +1,8 @@
-(* M1-M4: Bechamel micro-benchmarks of the core primitives, one per
+(* M1-M6: Bechamel micro-benchmarks of the core primitives, one per
    experiment table in the performance section of EXPERIMENTS.md.  Each
    prints an OLS estimate of nanoseconds per run against the monotonic
-   clock. *)
+   clock; the same estimates are written to BENCH_micro.json so the
+   perf trajectory can be tracked across commits. *)
 
 open Core
 open Bechamel
@@ -9,6 +10,7 @@ open Toolkit
 module Dual = Dualgraph.Dual
 module Geo = Dualgraph.Geometric
 module Sch = Radiosim.Scheduler
+module Engine = Radiosim.Engine
 module Params = Localcast.Params
 module L = Localcast
 
@@ -28,7 +30,7 @@ let m1_engine_round =
   Test.make ~name:"M1 engine round (clique 32)"
     (Staged.stage (fun () ->
          ignore
-           (Radiosim.Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes ~env
+           (Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes ~env
               ~rounds:1 ())))
 
 (* M2: a complete standalone SeedAlg execution on a small clique. *)
@@ -42,7 +44,7 @@ let m2_seed_agreement =
          let rng = Prng.Rng.of_int !counter in
          let nodes = L.Seed_alg.network params ~rng ~n:8 in
          ignore
-           (Radiosim.Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes
+           (Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes
               ~env:(Radiosim.Env.null ~name:"bench" ())
               ~rounds:(L.Seed_alg.duration params)
               ())))
@@ -59,7 +61,7 @@ let m3_lb_phase =
          let nodes = L.Lb_alg.network params ~rng ~n:2 in
          let envt = L.Lb_env.saturate ~n:2 ~senders:[ 0 ] () in
          ignore
-           (Radiosim.Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes
+           (Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes
               ~env:(L.Lb_env.env envt) ~rounds:params.Params.phase_len ())))
 
 (* M4: random r-geographic dual graph generation (n = 100). *)
@@ -73,9 +75,114 @@ let m4_topology =
               ~rng:(Prng.Rng.of_int !counter)
               ~n:100 ~width:6.0 ~height:6.0 ~r:1.5 ())))
 
+(* M5: one sparse-transmitter round on a 256-clique at p = 1/Δ (the
+   regime MAC backoff converges to).  Expected transmitter count is ~1,
+   so the transmitter-centric resolver touches ~Δ + n slots while a
+   listener-centric scan is Θ(n·Δ).  Benchmarked against the retained
+   reference resolver to quantify exactly that gap. *)
+let m5_clique = Geo.clique 256
+
+let m5_nodes seed =
+  let rng = Prng.Rng.of_int seed in
+  Array.init 256 (fun src ->
+      Baseline.Uniform.node ~p:(1.0 /. 256.0)
+        ~message:(Localcast.Messages.payload ~src ~uid:0 ())
+        ~rng:(Prng.Rng.split rng))
+
+let m5_sparse_round =
+  let nodes = m5_nodes 5 in
+  let incidence = Engine.unreliable_incidence m5_clique in
+  let env = Radiosim.Env.null ~name:"bench" () in
+  Test.make ~name:"M5 sparse round (clique 256, p=1/256)"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run ~dual:m5_clique ~scheduler:Sch.reliable_only ~nodes
+              ~env ~incidence ~rounds:1 ())))
+
+let m5_sparse_round_reference =
+  let nodes = m5_nodes 55 in
+  let env = Radiosim.Env.null ~name:"bench" () in
+  Test.make ~name:"M5b listener-centric reference (clique 256, p=1/256)"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run_reference ~dual:m5_clique ~scheduler:Sch.reliable_only
+              ~nodes ~env ~rounds:1 ())))
+
+(* M6: one round on a random field with a gray zone under the Bernoulli
+   link scheduler — exercises Scheduler.fill_active (one hash per
+   unreliable edge per round) plus unreliable-incidence traversal. *)
+let m6_bernoulli_round =
+  let dual =
+    Geo.random_field
+      ~rng:(Prng.Rng.of_int 6)
+      ~n:256 ~width:9.0 ~height:9.0 ~r:1.5 ~gray_g':0.6 ()
+  in
+  let incidence = Engine.unreliable_incidence dual in
+  let rng = Prng.Rng.of_int 7 in
+  let nodes =
+    Array.init (Dual.n dual) (fun src ->
+        Baseline.Uniform.node ~p:0.5
+          ~message:(Localcast.Messages.payload ~src ~uid:0 ())
+          ~rng:(Prng.Rng.split rng))
+  in
+  let scheduler = Sch.bernoulli ~seed:6 ~p:0.5 in
+  let env = Radiosim.Env.null ~name:"bench" () in
+  Test.make ~name:"M6 bernoulli round (random field 256)"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run ~dual ~scheduler ~nodes ~env ~incidence ~rounds:1 ())))
+
+(* --- JSON trajectory snapshot --- *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when rev <> "" -> rev
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"git_rev\": \"%s\",\n  \"results\": {\n"
+    (json_escape (git_rev ()));
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc "    \"%s\": { \"ns_per_run\": %.3f, \"r_square\": %s }%s\n"
+        (json_escape name) ns
+        (match r2 with Some r -> Printf.sprintf "%.6f" r | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
 let run () =
-  Exp_common.section "M1-M4: micro-benchmarks (Bechamel, monotonic clock)";
-  let tests = [ m1_engine_round; m2_seed_agreement; m3_lb_phase; m4_topology ] in
+  Exp_common.section "M1-M6: micro-benchmarks (Bechamel, monotonic clock)";
+  let tests =
+    [
+      m1_engine_round;
+      m2_seed_agreement;
+      m3_lb_phase;
+      m4_topology;
+      m5_sparse_round;
+      m5_sparse_round_reference;
+      m6_bernoulli_round;
+    ]
+  in
   let cfg =
     Benchmark.cfg ~limit:2000
       ~quota:(Time.second (if !Exp_common.quick then 0.25 else 1.0))
@@ -89,6 +196,7 @@ let run () =
     Stats.Table.create ~title:"micro-benchmarks"
       ~columns:[ "benchmark"; "time per run"; "r^2" ]
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -107,12 +215,21 @@ let run () =
             else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
             else Printf.sprintf "%.1f ns" estimate
           in
-          let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "-"
+          let r2 = Analyze.OLS.r_square ols_result in
+          let r2_text =
+            match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
           in
-          Stats.Table.add_row table [ name; rendered; r2 ])
+          (* Strip the synthetic Bechamel group prefix for the JSON key. *)
+          let bare =
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          rows := (bare, estimate, r2) :: !rows;
+          Stats.Table.add_row table [ name; rendered; r2_text ])
         analyzed)
     tests;
-  Stats.Table.print table
+  Stats.Table.print table;
+  let path = "BENCH_micro.json" in
+  write_json ~path (List.rev !rows);
+  Exp_common.note "wrote %s (git rev %s)" path (git_rev ())

@@ -6,19 +6,68 @@ type t = {
   delta : int;
   delta' : int;
   unreliable : (int * int) array;
+  (* Flat CSR incidence of the unreliable edges: node [u]'s incident
+     unreliable edges are the slots [inc_off.(u) .. inc_off.(u+1) - 1],
+     holding the far endpoint in [inc_nbr] and the edge's index into
+     [unreliable] in [inc_edge].  Built once at creation so the engine
+     never re-derives (or re-allocates) it per run. *)
+  inc_off : int array;
+  inc_nbr : int array;
+  inc_edge : int array;
 }
 
+(* The r-geographic conditions:
+   (a) every pair at distance <= 1 is a G-edge, and
+   (b) every G'-edge spans distance <= r.
+   Condition (b) is a linear scan of E'.  Condition (a) needs candidate
+   pairs at distance <= 1; instead of the O(n²) all-pairs scan we bucket
+   the embedding into a unit grid and compare each vertex only against
+   the 3×3 neighborhood of its cell — O(n · local density), which keeps
+   [create] usable at n >= 10^4. *)
 let check_r_geographic emb r g g' =
   let n = Embedding.n emb in
-  let ok = ref true in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      let d = Embedding.vertex_distance emb u v in
-      if d <= 1.0 && not (Graph.mem_edge g u v) then ok := false;
-      if d > r && Graph.mem_edge g' u v then ok := false
-    done
-  done;
-  !ok
+  let edges_ok =
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      Graph.iter_neighbors g' u (fun v ->
+          if u < v && Embedding.vertex_distance emb u v > r then ok := false)
+    done;
+    !ok
+  in
+  edges_ok
+  && begin
+       let cell v =
+         let p = Embedding.point emb v in
+         ( int_of_float (Float.floor p.Embedding.x),
+           int_of_float (Float.floor p.Embedding.y) )
+       in
+       let buckets : (int * int, int list) Hashtbl.t = Hashtbl.create (max 16 n) in
+       for v = n - 1 downto 0 do
+         let c = cell v in
+         Hashtbl.replace buckets c
+           (v :: (Option.value ~default:[] (Hashtbl.find_opt buckets c)))
+       done;
+       let ok = ref true in
+       for u = 0 to n - 1 do
+         let cx, cy = cell u in
+         for dx = -1 to 1 do
+           for dy = -1 to 1 do
+             match Hashtbl.find_opt buckets (cx + dx, cy + dy) with
+             | None -> ()
+             | Some vs ->
+                 List.iter
+                   (fun v ->
+                     if
+                       v > u
+                       && Embedding.vertex_distance emb u v <= 1.0
+                       && not (Graph.mem_edge g u v)
+                     then ok := false)
+                   vs
+           done
+         done
+       done;
+       !ok
+     end
 
 let create ?embedding ?(r = 1.0) ~g ~g' () =
   if Graph.n g <> Graph.n g' then
@@ -33,11 +82,34 @@ let create ?embedding ?(r = 1.0) ~g ~g' () =
         invalid_arg "Dual.create: embedding size mismatch";
       if not (check_r_geographic emb r g g') then
         invalid_arg "Dual.create: embedding violates the r-geographic property");
+  let n = Graph.n g in
   let unreliable =
     Graph.edges g'
     |> List.filter (fun (u, v) -> not (Graph.mem_edge g u v))
     |> Array.of_list
   in
+  let m = Array.length unreliable in
+  let inc_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      inc_off.(u + 1) <- inc_off.(u + 1) + 1;
+      inc_off.(v + 1) <- inc_off.(v + 1) + 1)
+    unreliable;
+  for v = 0 to n - 1 do
+    inc_off.(v + 1) <- inc_off.(v + 1) + inc_off.(v)
+  done;
+  let inc_nbr = Array.make (2 * m) 0 in
+  let inc_edge = Array.make (2 * m) 0 in
+  let cursor = Array.sub inc_off 0 n in
+  Array.iteri
+    (fun idx (u, v) ->
+      inc_nbr.(cursor.(u)) <- v;
+      inc_edge.(cursor.(u)) <- idx;
+      cursor.(u) <- cursor.(u) + 1;
+      inc_nbr.(cursor.(v)) <- u;
+      inc_edge.(cursor.(v)) <- idx;
+      cursor.(v) <- cursor.(v) + 1)
+    unreliable;
   {
     g;
     g';
@@ -46,6 +118,9 @@ let create ?embedding ?(r = 1.0) ~g ~g' () =
     delta = max 1 (Graph.max_closed_degree g);
     delta' = max 1 (Graph.max_closed_degree g');
     unreliable;
+    inc_off;
+    inc_nbr;
+    inc_edge;
   }
 
 let g t = t.g
@@ -56,8 +131,20 @@ let embedding t = t.embedding
 let delta t = t.delta
 let delta' t = t.delta'
 let unreliable_edges t = t.unreliable
+let unreliable_count t = Array.length t.unreliable
 let reliable_neighbors t u = Graph.neighbors t.g u
 let all_neighbors t u = Graph.neighbors t.g' u
+let iter_reliable_neighbors t u f = Graph.iter_neighbors t.g u f
+let iter_all_neighbors t u f = Graph.iter_neighbors t.g' u f
+let fold_reliable_neighbors t u ~init ~f = Graph.fold_neighbors t.g u ~init ~f
+let fold_all_neighbors t u ~init ~f = Graph.fold_neighbors t.g' u ~init ~f
+
+let unreliable_incidence_csr t = (t.inc_off, t.inc_nbr, t.inc_edge)
+
+let iter_unreliable_incident t u f =
+  for i = t.inc_off.(u) to t.inc_off.(u + 1) - 1 do
+    f (Array.unsafe_get t.inc_nbr i) (Array.unsafe_get t.inc_edge i)
+  done
 
 let is_r_geographic t =
   match t.embedding with

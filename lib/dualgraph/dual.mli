@@ -11,7 +11,9 @@ val create : ?embedding:Embedding.t -> ?r:float -> g:Graph.t -> g':Graph.t -> un
 (** Builds a dual graph.  Raises [Invalid_argument] if the vertex sets
     differ or [E ⊈ E'].  If [embedding] is given, [r] defaults to [1.0]
     and the r-geographic conditions are {e checked} (raises on
-    violation). *)
+    violation).  The check buckets the embedding into a unit grid, so it
+    costs O(|E'| + n · local density) rather than O(n²) — dual graphs
+    with n >= 10^4 vertices validate in milliseconds. *)
 
 val g : t -> Graph.t
 (** The reliable graph G. *)
@@ -37,11 +39,40 @@ val unreliable_edges : t -> (int * int) array
 (** The edges of [E' \ E], each once with [u < v], in a fixed order.  The
     array index is the edge's identity for link schedulers. *)
 
+val unreliable_count : t -> int
+(** [|E' \ E|] — the number of unreliable edges (and the size of the
+    activation buffers link schedulers fill). *)
+
 val reliable_neighbors : t -> int -> int array
-(** [N_G(u)], sorted.  Shared array — do not mutate. *)
+(** [N_G(u)], sorted; freshly allocated per call.  Hot paths should use
+    {!iter_reliable_neighbors} or the CSR accessors of [g t]. *)
 
 val all_neighbors : t -> int -> int array
-(** [N_G'(u)], sorted.  Shared array — do not mutate. *)
+(** [N_G'(u)], sorted; freshly allocated per call.  Hot paths should use
+    {!iter_all_neighbors} or the CSR accessors of [g' t]. *)
+
+val iter_reliable_neighbors : t -> int -> (int -> unit) -> unit
+(** Allocation-free iteration over [N_G(u)] in ascending order. *)
+
+val iter_all_neighbors : t -> int -> (int -> unit) -> unit
+(** Allocation-free iteration over [N_G'(u)] in ascending order. *)
+
+val fold_reliable_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Allocation-free fold over [N_G(u)] in ascending order. *)
+
+val fold_all_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Allocation-free fold over [N_G'(u)] in ascending order. *)
+
+val unreliable_incidence_csr : t -> int array * int array * int array
+(** [(offsets, nbr, edge)] — the unreliable-edge incidence in flat CSR
+    form, precomputed at creation.  Node [u]'s incident unreliable edges
+    occupy slots [offsets.(u) .. offsets.(u+1) - 1]: [nbr.(i)] is the far
+    endpoint and [edge.(i)] the index into {!unreliable_edges}.  Owned by
+    the dual graph — do not mutate. *)
+
+val iter_unreliable_incident : t -> int -> (int -> int -> unit) -> unit
+(** [iter_unreliable_incident t u f] applies [f nbr edge] to each
+    unreliable edge incident to [u], without allocating. *)
 
 val is_r_geographic : t -> bool
 (** Re-checks the r-geographic conditions (always true for dual graphs

@@ -1,53 +1,137 @@
+(* Flat CSR adjacency: [adj.(offsets.(u)) .. adj.(offsets.(u+1) - 1)] is
+   the sorted neighbor list of [u].  One boxed array per graph instead of
+   one per vertex keeps the engine's inner loop on a single contiguous
+   block, and sortedness gives O(log deg) edge membership with no
+   auxiliary hash table. *)
 type t = {
   size : int;
-  adj : int array array;
-  edge_set : (int, unit) Hashtbl.t;
+  offsets : int array;
+  adj : int array;
 }
 
-let edge_key size u v =
-  let lo = min u v and hi = max u v in
-  (lo * size) + hi
+(* Monomorphic order on undirected edges normalized to (lo, hi). *)
+let compare_edge (u1, v1) (u2, v2) =
+  if u1 <> u2 then Int.compare u1 u2 else Int.compare v1 v2
+
+(* Normalized, sorted, deduplicated edge array from a raw edge list. *)
+let normalize_edges ~n ~who edges =
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "%s: vertex %d out of range [0,%d)" who v n)
+  in
+  let arr =
+    Array.of_list
+      (List.map
+         (fun (u, v) ->
+           check u;
+           check v;
+           if u = v then invalid_arg (who ^ ": self-loop");
+           if u < v then (u, v) else (v, u))
+         edges)
+  in
+  Array.sort compare_edge arr;
+  let m = Array.length arr in
+  if m = 0 then arr
+  else begin
+    (* in-place adjacent dedup *)
+    let w = ref 1 in
+    for i = 1 to m - 1 do
+      if compare_edge arr.(i) arr.(!w - 1) <> 0 then begin
+        arr.(!w) <- arr.(i);
+        incr w
+      end
+    done;
+    Array.sub arr 0 !w
+  end
+
+(* Build the CSR from a normalized (sorted, unique, lo < hi) edge array.
+   Filling in sorted edge order keeps every vertex slice sorted: all of
+   [u]'s smaller neighbors arrive while [u] plays the hi role (ordered by
+   lo), before any larger neighbor arrives with [u] as lo (ordered by
+   hi). *)
+let of_normalized ~n edges =
+  let deg = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let adj = Array.make offsets.(n) 0 in
+  let cursor = Array.sub offsets 0 n in
+  Array.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  { size = n; offsets; adj }
 
 let create ~n ~edges =
   if n < 0 then invalid_arg "Graph.create: negative vertex count";
-  let check v =
-    if v < 0 || v >= n then
-      invalid_arg (Printf.sprintf "Graph.create: vertex %d out of range [0,%d)" v n)
-  in
-  let edge_set = Hashtbl.create (max 16 (List.length edges)) in
-  let buckets = Array.make n [] in
-  let add_edge (u, v) =
-    check u;
-    check v;
-    if u = v then invalid_arg "Graph.create: self-loop";
-    let key = edge_key n u v in
-    if not (Hashtbl.mem edge_set key) then begin
-      Hashtbl.add edge_set key ();
-      buckets.(u) <- v :: buckets.(u);
-      buckets.(v) <- u :: buckets.(v)
-    end
-  in
-  List.iter add_edge edges;
-  let adj =
-    Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) buckets
-  in
-  { size = n; adj; edge_set }
+  of_normalized ~n (normalize_edges ~n ~who:"Graph.create" edges)
 
 let empty n = create ~n ~edges:[]
 
 let n t = t.size
 
-let edge_count t = Hashtbl.length t.edge_set
+let edge_count t = Array.length t.adj / 2
 
-let neighbors t u = t.adj.(u)
+let degree t u = t.offsets.(u + 1) - t.offsets.(u)
 
-let degree t u = Array.length t.adj.(u)
+let neighbors t u = Array.sub t.adj t.offsets.(u) (degree t u)
 
-let mem_edge t u v = u <> v && Hashtbl.mem t.edge_set (edge_key t.size u v)
+let iter_neighbors t u f =
+  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    f (Array.unsafe_get t.adj i)
+  done
+
+let fold_neighbors t u ~init ~f =
+  let acc = ref init in
+  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    acc := f !acc (Array.unsafe_get t.adj i)
+  done;
+  !acc
+
+let csr_offsets t = t.offsets
+
+let csr_neighbors t = t.adj
+
+(* Binary search of [v] in the sorted slice of [u]. *)
+let mem_dir t u v =
+  let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1)) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    let w = Array.unsafe_get t.adj mid in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+let mem_edge t u v =
+  u <> v
+  && u >= 0 && u < t.size
+  && v >= 0 && v < t.size
+  && if degree t u <= degree t v then mem_dir t u v else mem_dir t v u
 
 let edges t =
-  Hashtbl.fold (fun key () acc -> (key / t.size, key mod t.size) :: acc) t.edge_set []
-  |> List.sort compare
+  (* CSR slices are sorted, so scanning vertices in order and keeping the
+     (u < v) direction yields the canonical sorted edge list directly —
+     no decode, no polymorphic compare. *)
+  let acc = ref [] in
+  for u = t.size - 1 downto 0 do
+    for i = t.offsets.(u + 1) - 1 downto t.offsets.(u) do
+      let v = t.adj.(i) in
+      if u < v then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
 
 let max_closed_degree t =
   let best = ref 1 in
@@ -61,8 +145,52 @@ let is_subgraph g g' =
   && List.for_all (fun (u, v) -> mem_edge g' u v) (edges g)
 
 let union a b =
-  if n a <> n b then invalid_arg "Graph.union: vertex count mismatch";
-  create ~n:(n a) ~edges:(edges a @ edges b)
+  if a.size <> b.size then invalid_arg "Graph.union: vertex count mismatch";
+  (* Per-vertex two-pointer merge of the sorted CSR slices: linear in
+     |E_a| + |E_b|, no re-hashing or re-sorting of the combined edge
+     list. *)
+  let n = a.size in
+  let merged = Array.make (Array.length a.adj + Array.length b.adj) 0 in
+  let offsets = Array.make (n + 1) 0 in
+  let w = ref 0 in
+  for u = 0 to n - 1 do
+    let i = ref a.offsets.(u) and j = ref b.offsets.(u) in
+    let ia_end = a.offsets.(u + 1) and ib_end = b.offsets.(u + 1) in
+    while !i < ia_end || !j < ib_end do
+      let next =
+        if !i >= ia_end then begin
+          let v = b.adj.(!j) in
+          incr j;
+          v
+        end
+        else if !j >= ib_end then begin
+          let v = a.adj.(!i) in
+          incr i;
+          v
+        end
+        else begin
+          let va = a.adj.(!i) and vb = b.adj.(!j) in
+          if va < vb then begin
+            incr i;
+            va
+          end
+          else if vb < va then begin
+            incr j;
+            vb
+          end
+          else begin
+            incr i;
+            incr j;
+            va
+          end
+        end
+      in
+      merged.(!w) <- next;
+      incr w
+    done;
+    offsets.(u + 1) <- !w
+  done;
+  { size = n; offsets; adj = Array.sub merged 0 !w }
 
 let bfs_distances t src =
   let dist = Array.make t.size max_int in
@@ -71,13 +199,11 @@ let bfs_distances t src =
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
-      (fun v ->
+    iter_neighbors t u (fun v ->
         if dist.(v) = max_int then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v queue
         end)
-      t.adj.(u)
   done;
   dist
 

@@ -4,7 +4,12 @@
     [(G, G')].  Vertices are dense integer indices (the simulator
     addresses nodes by index; the separate injective [id] mapping of the
     paper's model lives in {!Radiosim} configurations).  Self-loops are
-    rejected; duplicate edges are collapsed. *)
+    rejected; duplicate edges are collapsed.
+
+    The adjacency is stored in compressed-sparse-row (CSR) form: one flat
+    neighbor array plus an offsets array.  Hot paths should use
+    {!iter_neighbors} / {!fold_neighbors} or the raw {!csr_offsets} /
+    {!csr_neighbors} accessors, which do not allocate. *)
 
 type t
 
@@ -21,16 +26,38 @@ val n : t -> int
 val edge_count : t -> int
 
 val neighbors : t -> int -> int array
-(** Sorted neighbor array of a vertex.  The returned array is owned by the
-    graph — callers must not mutate it. *)
+(** Sorted neighbor array of a vertex, freshly allocated on every call
+    (the adjacency lives in one flat CSR block).  Convenient for tests
+    and one-off queries; hot paths should use {!iter_neighbors},
+    {!fold_neighbors} or the CSR accessors instead. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g u f] applies [f] to each neighbor of [u] in
+    ascending order, without allocating. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_neighbors g u ~init ~f] folds [f] over the neighbors of [u] in
+    ascending order, without allocating intermediate structures. *)
+
+val csr_offsets : t -> int array
+(** The CSR offsets array, of length [n + 1]: vertex [u]'s neighbors are
+    [csr_neighbors g].(i) for [csr_offsets g].(u) <= i <
+    [csr_offsets g].(u+1).  Owned by the graph — do not mutate. *)
+
+val csr_neighbors : t -> int array
+(** The flat CSR neighbor array, sorted within each vertex slice.  Owned
+    by the graph — do not mutate. *)
 
 val degree : t -> int -> int
 
 val mem_edge : t -> int -> int -> bool
-(** Symmetric edge membership; [mem_edge g u u] is [false]. *)
+(** Symmetric edge membership via binary search in the smaller endpoint's
+    sorted slice; [mem_edge g u u] is [false], as is any query with an
+    out-of-range endpoint. *)
 
 val edges : t -> (int * int) list
-(** Each undirected edge once, as [(u, v)] with [u < v], sorted. *)
+(** Each undirected edge once, as [(u, v)] with [u < v], sorted.  Read
+    directly off the sorted CSR slices — no decoding or re-sorting. *)
 
 val max_closed_degree : t -> int
 (** [max_closed_degree g] is the paper's degree bound: the maximum over
@@ -43,7 +70,9 @@ val is_subgraph : t -> t -> bool
     [E ⊆ E']. *)
 
 val union : t -> t -> t
-(** Edge-wise union of two graphs on the same vertex set. *)
+(** Edge-wise union of two graphs on the same vertex set, built by a
+    per-vertex linear merge of the sorted CSR slices (no re-hashing of
+    the combined edge list). *)
 
 val is_connected : t -> bool
 (** Whole-graph connectivity (vacuously true for [n <= 1]). *)

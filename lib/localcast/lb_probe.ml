@@ -72,5 +72,5 @@ let groups_in_neighborhood ~dual ~owners ~node =
     | None -> ()
   in
   absorb node;
-  Array.iter absorb (Dual.all_neighbors dual node);
+  Dual.iter_all_neighbors dual node absorb;
   Hashtbl.length seen

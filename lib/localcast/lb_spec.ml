@@ -82,9 +82,8 @@ let monitor ~dual ~params ~env:_ =
 let close_phase m =
   for u = 0 to m.n - 1 do
     let opportunity =
-      Array.exists
-        (fun v -> m.active_all.(v))
-        (Dual.reliable_neighbors m.dual u)
+      Dual.fold_reliable_neighbors m.dual u ~init:false ~f:(fun acc v ->
+          acc || m.active_all.(v))
     in
     if opportunity then begin
       m.progress_opportunities <- m.progress_opportunities + 1;
@@ -135,7 +134,7 @@ let observe m (record : (Messages.msg, Messages.lb_input, Messages.lb_output) Tr
               let src = payload.Messages.src in
               let valid =
                 src <> u
-                && Array.exists (fun v -> v = src) (Dual.all_neighbors m.dual u)
+                && Dualgraph.Graph.mem_edge (Dual.g' m.dual) u src
                 && (match m.active.(src) with
                    | Some p -> Messages.payload_equal p payload
                    | None -> false)
@@ -179,9 +178,8 @@ let observe m (record : (Messages.msg, Messages.lb_input, Messages.lb_output) Tr
                 | None -> Hashtbl.create 1
               in
               let all_neighbors_got_it =
-                Array.for_all
-                  (fun v -> Hashtbl.mem received_by v)
-                  (Dual.reliable_neighbors m.dual u)
+                Dual.fold_reliable_neighbors m.dual u ~init:true ~f:(fun acc v ->
+                    acc && Hashtbl.mem received_by v)
               in
               if not all_neighbors_got_it then
                 m.reliability_failures <- m.reliability_failures + 1

@@ -85,7 +85,7 @@ let note_recv m ~node ~round payload =
     src >= 0
     && src < Dual.n m.dual
     && src <> node
-    && Array.exists (( = ) src) (Dual.all_neighbors m.dual node)
+    && Dualgraph.Graph.mem_edge (Dual.g' m.dual) node src
     && source_active
   in
   if not valid then m.invalid_recvs <- m.invalid_recvs + 1;

@@ -48,7 +48,7 @@ let check ~dual ~delta_bound ~decisions =
             decisions.(v)
         in
         absorb u;
-        Array.iter absorb (Dual.all_neighbors dual u);
+        Dual.iter_all_neighbors dual u absorb;
         Hashtbl.length seen)
   in
   let agreement_ok = Array.map (fun k -> k <= delta_bound) owners_per_vertex in

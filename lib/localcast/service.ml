@@ -57,10 +57,8 @@ let one_shot ?scheduler ~dual ~params ~sender ~seed () =
   let completion =
     match outcome.env_log with
     | [ entry ] ->
-        let neighbors = Dual.reliable_neighbors dual sender in
         let last = ref 0 and all = ref true in
-        Array.iter
-          (fun v ->
+        Dual.iter_reliable_neighbors dual sender (fun v ->
             let first_recv =
               List.filter_map
                 (fun (u, round) -> if u = v then Some round else None)
@@ -68,8 +66,7 @@ let one_shot ?scheduler ~dual ~params ~sender ~seed () =
               |> List.fold_left min max_int
             in
             if first_recv = max_int then all := false
-            else if first_recv > !last then last := first_recv)
-          neighbors;
+            else if first_recv > !last then last := first_recv);
         if !all then Some !last else None
     | _ -> None
   in

@@ -21,7 +21,7 @@ let run ~params ~rng ~dual ~scheduler ~max_rounds () =
      directions; track how many are still missing. *)
   let missing = ref 0 in
   for u = 0 to n - 1 do
-    missing := !missing + Array.length (Dual.reliable_neighbors dual u)
+    missing := !missing + Graph.degree (Dual.g dual) u
   done;
   let completion_round = ref None in
   let callbacks =

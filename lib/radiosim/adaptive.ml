@@ -16,32 +16,30 @@ let of_oblivious scheduler =
   }
 
 let jam dual =
-  let unreliable = Dual.unreliable_edges dual in
   let n = Dual.n dual in
-  (* (node -> incident unreliable edge ids), for the per-round scan. *)
-  let incident = Array.make n [] in
-  Array.iteri
-    (fun idx (u, v) ->
-      incident.(u) <- (idx, v) :: incident.(u);
-      incident.(v) <- (idx, u) :: incident.(v))
-    unreliable;
   (* Cache one round's decision, keyed by BOTH the round number and the
-     physical identity of the transmission vector: the engine allocates a
-     fresh vector every round, so this never serves a stale decision even
-     if one adversary value is (incorrectly but harmlessly) reused across
-     several runs. *)
+     physical identity of the transmission vector: even if the engine
+     reuses the vector's storage across rounds, the round component keeps
+     the cache fresh, and an adversary value (incorrectly but harmlessly)
+     shared across several runs never serves a stale decision. *)
   let last_key : (int * bool array) option ref = ref None in
-  let active = Array.make (Array.length unreliable) false in
+  let active = Array.make (Dual.unreliable_count dual) false in
   let recompute transmitting =
     Array.fill active 0 (Array.length active) false;
     for u = 0 to n - 1 do
       if not transmitting.(u) then begin
         let reliable_transmitters = ref 0 in
-        Array.iter
-          (fun v -> if transmitting.(v) then incr reliable_transmitters)
-          (Dual.reliable_neighbors dual u);
+        Dual.iter_reliable_neighbors dual u (fun v ->
+            if transmitting.(v) then incr reliable_transmitters);
         let unreliable_transmitters =
-          List.filter (fun (_, v) -> transmitting.(v)) incident.(u)
+          (* Prepending while scanning the ascending CSR slice yields
+             descending edge order — the same order the previous
+             prepend-built incidence lists had, so the adversary's edge
+             choices (and hence recorded traces) are unchanged. *)
+          let acc = ref [] in
+          Dual.iter_unreliable_incident dual u (fun v edge ->
+              if transmitting.(v) then acc := (edge, v) :: !acc);
+          !acc
         in
         match (!reliable_transmitters, unreliable_transmitters) with
         | 1, (edge, _) :: _ ->

@@ -1,31 +1,61 @@
 module Dual = Dualgraph.Dual
+module Graph = Dualgraph.Graph
 
-(* Per-node incidence of unreliable edges: (neighbor, edge index) pairs,
-   where the index refers to [Dual.unreliable_edges]. *)
-type incidence = (int * int) array array
+(* Per-node incidence of unreliable edges in flat CSR form, shared with
+   the dual graph that precomputed it: node [u]'s incident unreliable
+   edges occupy slots [off.(u) .. off.(u+1) - 1]. *)
+type incidence = {
+  inc_off : int array;
+  inc_nbr : int array;
+  inc_edge : int array;
+}
 
 let unreliable_incidence dual =
-  let n = Dual.n dual in
-  let incident = Array.make n [] in
-  Array.iteri
-    (fun idx (u, v) ->
-      incident.(u) <- (v, idx) :: incident.(u);
-      incident.(v) <- (u, idx) :: incident.(v))
-    (Dual.unreliable_edges dual);
-  Array.map Array.of_list incident
+  let inc_off, inc_nbr, inc_edge = Dual.unreliable_incidence_csr dual in
+  { inc_off; inc_nbr; inc_edge }
 
-(* The shared round loop.  [edge_active] decides, per round, which
-   unreliable edges join the topology; for oblivious schedulers it ignores
-   the transmission vector, for adaptive adversaries (Adaptive.t) it may
-   inspect it — the engine computes the vector before resolving any
-   reception either way, so both cases share one collision-resolution
-   path. *)
-let run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop () =
+(* The shared round loop, resolved transmitter-centrically.
+
+   [fill_active] materializes the round's active unreliable-edge set into
+   the reusable byte buffer (one byte per unreliable edge) before any
+   reception is resolved; for oblivious schedulers it ignores the
+   transmission vector, for adaptive adversaries (Adaptive.t) it may
+   inspect it — either way each edge is resolved exactly once per round.
+
+   Reception then iterates only over the round's transmitters: each
+   transmitter pushes its message along its reliable CSR slice and its
+   active unreliable incident edges into per-listener (first-message,
+   collision) scratch, so a round costs O(T·Δ' + n) for T transmitters
+   instead of the listener-centric O(n·Δ').  The scratch arrays and the
+   activation buffer never escape, so they are allocated once per run. *)
+let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop ()
+    =
   let n = Dual.n dual in
   if Array.length nodes <> n then
     invalid_arg "Engine.run: node array size differs from vertex count";
   if rounds < 0 then invalid_arg "Engine.run: negative round count";
-  let incident = unreliable_incidence dual in
+  let inc =
+    match incidence with
+    | Some inc ->
+        if Array.length inc.inc_off <> n + 1 then
+          invalid_arg "Engine.run: incidence/graph mismatch";
+        inc
+    | None -> unreliable_incidence dual
+  in
+  let g_off = Graph.csr_offsets (Dual.g dual) in
+  let g_adj = Graph.csr_neighbors (Dual.g dual) in
+  let m = Dual.unreliable_count dual in
+  let active = Bytes.create m in
+  (* Per-listener reception scratch, reset (when touched) every round. *)
+  let heard = Array.make (max n 1) None in
+  let collided = Bytes.make (max n 1) '\000' in
+  let transmitters = Array.make (max n 1) 0 in
+  let push u sm =
+    if Bytes.unsafe_get collided u = '\000' then
+      match Array.unsafe_get heard u with
+      | None -> Array.unsafe_set heard u sm
+      | Some _ -> Bytes.unsafe_set collided u '\001'
+  in
   (* A round record can escape the loop only through [observer] or
      [stop]; when neither is supplied, the per-round arrays are reused
      across rounds instead of being reallocated (the engine's dominant
@@ -67,29 +97,45 @@ let run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop () =
           if not record_escapes then buffers := Some b;
           b
     in
-    let active = edge_active ~round:t ~transmitting in
-    (* Step 3: receptions under the round's topology. *)
+    (* Step 3: receptions under the round's topology, driven by the
+       transmitter set. *)
+    let tcount = ref 0 in
+    for v = 0 to n - 1 do
+      if Array.unsafe_get transmitting v then begin
+        Array.unsafe_set transmitters !tcount v;
+        incr tcount
+      end
+    done;
+    if !tcount > 0 then begin
+      if m > 0 then fill_active ~round:t ~transmitting active;
+      for i = 0 to !tcount - 1 do
+        let v = Array.unsafe_get transmitters i in
+        match actions.(v) with
+        | Process.Listen -> ()
+        | Process.Transmit msg ->
+            (* One [Some] per transmitter, shared across its receivers. *)
+            let sm = Some msg in
+            for j = g_off.(v) to g_off.(v + 1) - 1 do
+              push (Array.unsafe_get g_adj j) sm
+            done;
+            for j = inc.inc_off.(v) to inc.inc_off.(v + 1) - 1 do
+              if Bytes.unsafe_get active (Array.unsafe_get inc.inc_edge j) = '\001'
+              then push (Array.unsafe_get inc.inc_nbr j) sm
+            done
+      done
+    end;
     for u = 0 to n - 1 do
       delivered.(u) <-
         (match actions.(u) with
         | Process.Transmit _ -> None
         | Process.Listen ->
-            let heard = ref None in
-            let collided = ref false in
-            let consider v =
-              match actions.(v) with
-              | Process.Listen -> ()
-              | Process.Transmit m -> (
-                  match !heard with
-                  | None -> heard := Some m
-                  | Some _ -> collided := true)
-            in
-            Array.iter consider (Dual.reliable_neighbors dual u);
-            Array.iter
-              (fun (v, edge) -> if active ~edge then consider v)
-              incident.(u);
-            if !collided then None else !heard)
+            if Bytes.unsafe_get collided u = '\001' then None
+            else Array.unsafe_get heard u)
     done;
+    if !tcount > 0 then begin
+      Array.fill heard 0 n None;
+      Bytes.fill collided 0 n '\000'
+    end;
     (* Step 4: outputs, consumed by the environment. *)
     for v = 0 to n - 1 do
       outputs.(v) <- nodes.(v).Process.absorb ~round:t delivered.(v)
@@ -107,38 +153,109 @@ let run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop () =
   done;
   !executed
 
-let run ?observer ?stop ~dual ~scheduler ~nodes ~env ~rounds () =
-  let edge_active ~round ~transmitting:_ ~edge =
-    Scheduler.active scheduler ~round ~edge
+let run ?observer ?stop ?incidence ~dual ~scheduler ~nodes ~env ~rounds () =
+  let fill_active ~round ~transmitting:_ buf =
+    Scheduler.fill_active scheduler ~round buf
   in
-  run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop ()
+  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop ()
 
-let run_adaptive ?observer ?stop ~dual ~adversary ~nodes ~env ~rounds () =
-  let edge_active ~round ~transmitting ~edge =
-    Adaptive.choose adversary ~round ~transmitting ~edge
+let run_adaptive ?observer ?stop ?incidence ~dual ~adversary ~nodes ~env ~rounds
+    () =
+  let fill_active ~round ~transmitting buf =
+    for edge = 0 to Bytes.length buf - 1 do
+      Bytes.unsafe_set buf edge
+        (if Adaptive.choose adversary ~round ~transmitting ~edge then '\001'
+         else '\000')
+    done
   in
-  run_with ~edge_active ~dual ~nodes ~env ~rounds ?observer ?stop ()
+  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop ()
+
+(* The retained listener-centric resolver: for every listener, scan its
+   topology neighborhood and apply the collision rule, querying the
+   scheduler per (listener, incident edge).  O(n·Δ') per round and
+   allocating; kept verbatim as the executable reference semantics — the
+   property suite asserts the transmitter-centric engine produces
+   bit-identical traces, and the micro-benchmarks report the speedup
+   against it. *)
+let run_reference ?observer ?stop ~dual ~scheduler ~nodes ~env ~rounds () =
+  let n = Dual.n dual in
+  if Array.length nodes <> n then
+    invalid_arg "Engine.run: node array size differs from vertex count";
+  if rounds < 0 then invalid_arg "Engine.run: negative round count";
+  let executed = ref 0 in
+  let continue = ref true in
+  let round = ref 0 in
+  while !continue && !round < rounds do
+    let t = !round in
+    let inputs = Array.init n (fun v -> env.Env.inputs ~round:t ~node:v) in
+    let actions =
+      Array.mapi (fun v node -> node.Process.decide ~round:t inputs.(v)) nodes
+    in
+    let delivered =
+      Array.init n (fun u ->
+          match actions.(u) with
+          | Process.Transmit _ -> None
+          | Process.Listen ->
+              let heard = ref None in
+              let collided = ref false in
+              let consider v =
+                match actions.(v) with
+                | Process.Listen -> ()
+                | Process.Transmit m -> (
+                    match !heard with
+                    | None -> heard := Some m
+                    | Some _ -> collided := true)
+              in
+              Dual.iter_reliable_neighbors dual u consider;
+              Dual.iter_unreliable_incident dual u (fun v edge ->
+                  if Scheduler.active scheduler ~round:t ~edge then consider v);
+              if !collided then None else !heard)
+    in
+    let outputs =
+      Array.init n (fun v -> nodes.(v).Process.absorb ~round:t delivered.(v))
+    in
+    Array.iteri
+      (fun v outs -> if outs <> [] then env.Env.notify ~round:t ~node:v outs)
+      outputs;
+    let record = { Trace.round = t; inputs; actions; delivered; outputs } in
+    (match observer with Some f -> f record | None -> ());
+    (match stop with Some p when p record -> continue := false | _ -> ());
+    incr executed;
+    incr round
+  done;
+  !executed
 
 let transmitter_counts ?incidence ~dual ~scheduler ~round ~transmitting () =
   let n = Dual.n dual in
   if Array.length transmitting <> n then
     invalid_arg "Engine.transmitter_counts: size mismatch";
-  let incident =
+  let inc =
     match incidence with
-    | Some incident ->
-        if Array.length incident <> n then
+    | Some inc ->
+        if Array.length inc.inc_off <> n + 1 then
           invalid_arg "Engine.transmitter_counts: incidence/graph mismatch";
-        incident
+        inc
     | None -> unreliable_incidence dual
   in
-  Array.init n (fun u ->
-      let count = ref 0 in
-      Array.iter
-        (fun v -> if transmitting.(v) then incr count)
-        (Dual.reliable_neighbors dual u);
-      Array.iter
-        (fun (v, edge) ->
-          if transmitting.(v) && Scheduler.active scheduler ~round ~edge then
-            incr count)
-        incident.(u);
-      !count)
+  let g_off = Graph.csr_offsets (Dual.g dual) in
+  let g_adj = Graph.csr_neighbors (Dual.g dual) in
+  let m = Dual.unreliable_count dual in
+  let active = Bytes.create m in
+  if m > 0 then Scheduler.fill_active scheduler ~round active;
+  let counts = Array.make n 0 in
+  for v = 0 to n - 1 do
+    if transmitting.(v) then begin
+      for j = g_off.(v) to g_off.(v + 1) - 1 do
+        let u = Array.unsafe_get g_adj j in
+        counts.(u) <- counts.(u) + 1
+      done;
+      for j = inc.inc_off.(v) to inc.inc_off.(v + 1) - 1 do
+        if Bytes.unsafe_get active (Array.unsafe_get inc.inc_edge j) = '\001'
+        then begin
+          let u = Array.unsafe_get inc.inc_nbr j in
+          counts.(u) <- counts.(u) + 1
+        end
+      done
+    end
+  done;
+  counts

@@ -14,11 +14,31 @@
 
     The combination (dual graph, nodes, scheduler, environment) is the
     paper's {e configuration}; given the per-node RNGs it fully determines
-    the execution. *)
+    the execution.
+
+    Reception is resolved {e transmitter-centrically}: the round's active
+    unreliable-edge set is materialized once into a reusable activation
+    buffer ({!Scheduler.fill_active}), then only the round's transmitters
+    push (first-message, collision) state along their CSR adjacency into
+    per-listener scratch.  A round therefore costs O(T·Δ' + n) for T
+    transmitters — the regime the decay-ladder algorithms live in, where
+    T is a small constant most rounds — instead of the listener-centric
+    O(n·Δ') of {!run_reference}. *)
+
+type incidence
+(** Per-node incidence of a dual graph's unreliable edges in flat CSR
+    form — the data the engine needs beyond the reliable adjacency.  The
+    dual graph precomputes it at creation, so obtaining it is O(1) and
+    allocation-free. *)
+
+val unreliable_incidence : Dualgraph.Dual.t -> incidence
+(** The unreliable-edge incidence of a topology, shared with the dual
+    graph's internal representation (O(1), no per-call allocation). *)
 
 val run :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
   ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
+  ?incidence:incidence ->
   dual:Dualgraph.Dual.t ->
   scheduler:Scheduler.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -29,12 +49,15 @@ val run :
 (** Executes up to [rounds] rounds and returns the number actually
     executed.  [observer] sees each round's record as it completes;
     [stop], checked after the observer, ends the run early when it
-    returns [true].  Raises [Invalid_argument] if the node array size
-    differs from the graph's vertex count. *)
+    returns [true].  [incidence] must come from {!unreliable_incidence}
+    on the same [dual] (it is fetched from the dual when absent).  Raises
+    [Invalid_argument] if the node array size differs from the graph's
+    vertex count. *)
 
 val run_adaptive :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
   ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
+  ?incidence:incidence ->
   dual:Dualgraph.Dual.t ->
   adversary:Adaptive.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -45,20 +68,27 @@ val run_adaptive :
 (** Like {!run}, but the unreliable-edge choice is made by an
     {!Adaptive} adversary that sees the round's transmission vector —
     the model variant under which the paper's predecessor work proves
-    efficient progress impossible.  Kept separate from {!run} so that a
-    type of scheduler can never silently escalate into the stronger
-    adversary. *)
+    efficient progress impossible.  The adversary is consulted once per
+    (round, edge) while the activation buffer is filled.  Kept separate
+    from {!run} so that a type of scheduler can never silently escalate
+    into the stronger adversary. *)
 
-type incidence
-(** Precomputed per-node incidence of a dual graph's unreliable edges —
-    the data {!transmitter_counts} needs beyond the reliable adjacency.
-    Building it walks every unreliable edge (O(|E' \ E|)), so callers
-    that query many rounds of one topology should build it once with
-    {!unreliable_incidence} and pass it back in. *)
-
-val unreliable_incidence : Dualgraph.Dual.t -> incidence
-(** Precompute the unreliable-edge incidence of a topology, for reuse
-    across many {!transmitter_counts} queries. *)
+val run_reference :
+  ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
+  ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Scheduler.t ->
+  nodes:('msg, 'input, 'output) Process.node array ->
+  env:('input, 'output) Env.t ->
+  rounds:int ->
+  unit ->
+  int
+(** The retained listener-centric resolver: every listener scans its full
+    topology neighborhood, querying the scheduler per incident edge —
+    O(n·Δ') per round.  Same observable semantics as {!run} (the
+    property suite asserts bit-identical traces on random
+    configurations); kept as the executable reference for tests and as
+    the micro-benchmark baseline.  Not for production use. *)
 
 val transmitter_counts :
   ?incidence:incidence ->
@@ -71,6 +101,7 @@ val transmitter_counts :
 (** Diagnostic: for the given transmitting set, the number of
     topology-neighbors of each node that transmit in [round] (the
     contention each listener faces).  Used by tests to cross-check the
-    engine's collision rule.  [incidence] must come from
+    engine's collision rule.  Routes through the same activation-buffer
+    + transmitter-centric path as {!run}.  [incidence] must come from
     {!unreliable_incidence} on the same [dual]; when absent it is
-    rebuilt on every call. *)
+    fetched from the dual (O(1)). *)

@@ -1,16 +1,42 @@
 type t = {
   name : string;
   active : round:int -> edge:int -> bool;
+  (* Batch form of [active]: set byte [e] of the buffer to '\001' iff
+     edge [e] is present this round.  Semantically redundant with
+     [active]; kept as a separate field so constant and periodic
+     schedulers can fill with a single [Bytes.fill] instead of one
+     predicate call per edge. *)
+  fill : round:int -> Bytes.t -> unit;
 }
 
 let name t = t.name
 let active t = t.active
-let make ~name active = { name; active }
+
+let fill_of_active active ~round buf =
+  for e = 0 to Bytes.length buf - 1 do
+    Bytes.unsafe_set buf e (if active ~round ~edge:e then '\001' else '\000')
+  done
+
+let fill_active t ~round buf = t.fill ~round buf
+
+let make ~name active = { name; active; fill = fill_of_active active }
+
+let constant_fill on ~round:_ buf =
+  Bytes.fill buf 0 (Bytes.length buf) (if on then '\001' else '\000')
 
 let reliable_only =
-  { name = "reliable-only"; active = (fun ~round:_ ~edge:_ -> false) }
+  {
+    name = "reliable-only";
+    active = (fun ~round:_ ~edge:_ -> false);
+    fill = constant_fill false;
+  }
 
-let all_edges = { name = "all-edges"; active = (fun ~round:_ ~edge:_ -> true) }
+let all_edges =
+  {
+    name = "all-edges";
+    active = (fun ~round:_ ~edge:_ -> true);
+    fill = constant_fill true;
+  }
 
 let bernoulli ~seed ~p =
   let active ~round ~edge =
@@ -25,7 +51,22 @@ let bernoulli ~seed ~p =
     let v = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 in
     v < p
   in
-  { name = Printf.sprintf "bernoulli(p=%.2f)" p; active }
+  (* The batch fill hoists the round term out of the per-edge hash: one
+     multiply per round, one mix per edge. *)
+  let fill ~round buf =
+    let round_term = Int64.mul (Int64.of_int round) 0x100000001B3L in
+    for edge = 0 to Bytes.length buf - 1 do
+      let h =
+        Prng.Splitmix.mix
+          (Int64.add round_term (Int64.of_int ((edge * 2654435761) + seed)))
+      in
+      let v =
+        Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+      in
+      Bytes.unsafe_set buf edge (if v < p then '\001' else '\000')
+    done
+  in
+  { name = Printf.sprintf "bernoulli(p=%.2f)" p; active; fill }
 
 let flicker ~period ~duty =
   if period <= 0 || duty < 0 || duty > period then
@@ -33,16 +74,31 @@ let flicker ~period ~duty =
   {
     name = Printf.sprintf "flicker(%d/%d)" duty period;
     active = (fun ~round ~edge:_ -> round mod period < duty);
+    fill = (fun ~round buf -> constant_fill (round mod period < duty) ~round buf);
   }
 
 let edge_phase_flicker ~period =
   if period <= 0 then invalid_arg "Scheduler.edge_phase_flicker: period > 0";
+  let active ~round ~edge = round mod period = edge mod period in
   {
     name = Printf.sprintf "edge-phase(%d)" period;
-    active = (fun ~round ~edge -> round mod period = edge mod period);
+    active;
+    fill =
+      (fun ~round buf ->
+        (* Only every [period]-th edge is on: clear, then stride. *)
+        Bytes.fill buf 0 (Bytes.length buf) '\000';
+        let e = ref (round mod period) in
+        while !e < Bytes.length buf do
+          Bytes.unsafe_set buf !e '\001';
+          e := !e + period
+        done);
   }
 
 let thwart ~hot =
-  { name = "thwart"; active = (fun ~round ~edge:_ -> hot round) }
+  {
+    name = "thwart";
+    active = (fun ~round ~edge:_ -> hot round);
+    fill = (fun ~round buf -> constant_fill (hot round) ~round buf);
+  }
 
 let pp ppf t = Format.pp_print_string ppf t.name

@@ -19,8 +19,20 @@ val name : t -> string
 val active : t -> round:int -> edge:int -> bool
 (** Whether unreliable edge [edge] is present in round [round]. *)
 
+val fill_active : t -> round:int -> Bytes.t -> unit
+(** [fill_active t ~round buf] materializes the round's whole activation
+    set in one pass: byte [e] of [buf] is set to ['\001'] iff edge [e]
+    is present in [round], for every [e < Bytes.length buf].  Callers
+    size [buf] to {!Dualgraph.Dual.unreliable_count} and reuse it across
+    rounds.  Agrees with {!active} edge-by-edge (a property the test
+    suite checks), but resolves each edge exactly once per round —
+    constant and periodic schedulers fill with a single [Bytes.fill],
+    and hash-based schedulers hash each edge once instead of once per
+    incident listener. *)
+
 val make : name:string -> (round:int -> edge:int -> bool) -> t
-(** Build a custom scheduler.  The function must be pure. *)
+(** Build a custom scheduler.  The function must be pure; the batch
+    {!fill_active} form is derived from it. *)
 
 val reliable_only : t
 (** Never includes an unreliable edge: the topology is always G.  Under

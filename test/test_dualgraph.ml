@@ -67,6 +67,48 @@ let test_graph_union () =
   let b = G.create ~n:3 ~edges:[ (1, 2) ] in
   checki "union edges" 2 (G.edge_count (G.union a b))
 
+let test_graph_csr_layout () =
+  let g = G.create ~n:4 ~edges:[ (2, 0); (2, 3); (2, 1); (0, 1) ] in
+  Alcotest.check (Alcotest.array Alcotest.int) "offsets" [| 0; 2; 4; 7; 8 |]
+    (G.csr_offsets g);
+  Alcotest.check (Alcotest.array Alcotest.int) "flat neighbors"
+    [| 1; 2; 0; 2; 0; 1; 3; 2 |] (G.csr_neighbors g);
+  (* The flat slices and the allocated views must agree. *)
+  for u = 0 to 3 do
+    Alcotest.check (Alcotest.array Alcotest.int) "slice = neighbors"
+      (G.neighbors g u)
+      (Array.sub (G.csr_neighbors g) (G.csr_offsets g).(u) (G.degree g u))
+  done
+
+let test_graph_iter_fold_neighbors () =
+  let g = G.create ~n:4 ~edges:[ (2, 0); (2, 3); (2, 1) ] in
+  let seen = ref [] in
+  G.iter_neighbors g 2 (fun v -> seen := v :: !seen);
+  Alcotest.check (Alcotest.list Alcotest.int) "iter ascending" [ 0; 1; 3 ]
+    (List.rev !seen);
+  checki "fold sum" 4 (G.fold_neighbors g 2 ~init:0 ~f:( + ));
+  checki "fold empty" 0 (G.fold_neighbors (G.empty 2) 1 ~init:0 ~f:( + ))
+
+let test_graph_mem_edge_out_of_range () =
+  checkb "beyond n" false (G.mem_edge path5 0 7);
+  checkb "negative" false (G.mem_edge path5 (-1) 2)
+
+let test_graph_union_overlap () =
+  let a = G.create ~n:4 ~edges:[ (0, 1); (1, 2); (0, 3) ] in
+  let b = G.create ~n:4 ~edges:[ (1, 2); (2, 3); (1, 3) ] in
+  let u = G.union a b in
+  checki "deduplicated union" 5 (G.edge_count u);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "canonical edge list"
+    [ (0, 1); (0, 3); (1, 2); (1, 3); (2, 3) ]
+    (G.edges u);
+  (* union result keeps sorted CSR slices *)
+  Alcotest.check (Alcotest.array Alcotest.int) "slice of 1" [| 0; 2; 3 |]
+    (G.neighbors u 1);
+  Alcotest.check (Alcotest.array Alcotest.int) "slice of 3" [| 0; 1; 2 |]
+    (G.neighbors u 3)
+
 let test_graph_bfs () =
   let d = G.bfs_distances path5 0 in
   Alcotest.check (Alcotest.array Alcotest.int) "distances" [| 0; 1; 2; 3; 4 |] d;
@@ -116,6 +158,38 @@ let test_dual_unreliable_edges () =
   (* consecutive reliable; two-hop (distance 1.8 ≤ 2) unreliable *)
   checki "one unreliable edge" 1 (Array.length (Dual.unreliable_edges dual));
   checkb "it is the 2-hop pair" true (Dual.unreliable_edges dual = [| (0, 2) |])
+
+let test_dual_incidence_csr () =
+  (* The flat incidence must agree with the canonical edge array: every
+     (endpoint, edge-index) pair appears exactly once per endpoint. *)
+  let dual = Geo.grid ~rows:3 ~cols:4 ~spacing:1.0 ~r:1.5 () in
+  let edges = Dual.unreliable_edges dual in
+  let m = Array.length edges in
+  checki "unreliable_count" m (Dual.unreliable_count dual);
+  let off, nbr, eidx = Dual.unreliable_incidence_csr dual in
+  checki "offsets length" (Dual.n dual + 1) (Array.length off);
+  checki "incidence entries" (2 * m) (Array.length nbr);
+  checki "edge-index entries" (2 * m) (Array.length eidx);
+  let seen = Hashtbl.create 64 in
+  for u = 0 to Dual.n dual - 1 do
+    Dual.iter_unreliable_incident dual u (fun v e ->
+        let a, b = edges.(e) in
+        checkb "incident entry matches edge" true
+          ((a = u && b = v) || (a = v && b = u));
+        checkb "fresh (u, e) pair" false (Hashtbl.mem seen (u, e));
+        Hashtbl.add seen (u, e) ())
+  done;
+  checki "every edge incident to both endpoints" (2 * m) (Hashtbl.length seen)
+
+let test_dual_create_large () =
+  (* The r-geographic check must stay usable at n in the thousands: this
+     is quadratic-sensitive, so a long line flushes out any all-pairs
+     scan (previously ~2.5e7 pair checks; grid-bucketed it is linear). *)
+  let n = 5000 in
+  let dual = Geo.line ~n ~spacing:0.9 ~r:2.0 () in
+  checki "n" n (Dual.n dual);
+  checkb "r-geographic" true (Dual.is_r_geographic dual);
+  checki "two-hop grey edges" (n - 2) (Dual.unreliable_count dual)
 
 let test_dual_geographic_validation () =
   (* Two points at distance 0.5 with no reliable edge: invalid. *)
@@ -386,6 +460,10 @@ let suite =
       ("graph max closed degree", test_graph_max_closed_degree);
       ("graph subgraph", test_graph_subgraph);
       ("graph union", test_graph_union);
+      ("graph csr layout", test_graph_csr_layout);
+      ("graph iter/fold neighbors", test_graph_iter_fold_neighbors);
+      ("graph mem_edge out of range", test_graph_mem_edge_out_of_range);
+      ("graph union overlap", test_graph_union_overlap);
       ("graph bfs", test_graph_bfs);
       ("graph connectivity", test_graph_connectivity);
       ("graph diameter", test_graph_diameter);
@@ -393,6 +471,8 @@ let suite =
       ("dual subset enforced", test_dual_subset_enforced);
       ("dual degrees", test_dual_degrees);
       ("dual unreliable edges", test_dual_unreliable_edges);
+      ("dual incidence csr", test_dual_incidence_csr);
+      ("dual create large", test_dual_create_large);
       ("dual geographic validation", test_dual_geographic_validation);
       ("dual distant unreliable invalid", test_dual_distant_unreliable_invalid);
       ("dual is_r_geographic", test_dual_is_r_geographic);

@@ -86,9 +86,118 @@ let expected_delivery ~dual ~scheduler ~record u =
         !result
       end
 
+(* Equivalence of the transmitter-centric engine and the retained
+   listener-centric reference resolver: identically-seeded runs must
+   produce bit-identical record streams (same actions, deliveries and
+   outputs every round) across random duals, schedulers and transmit
+   patterns. *)
+let scheduler_of_seed seed =
+  match seed mod 5 with
+  | 0 -> Sch.reliable_only
+  | 1 -> Sch.all_edges
+  | 2 -> Sch.bernoulli ~seed ~p:0.4
+  | 3 -> Sch.edge_phase_flicker ~period:(1 + (seed mod 7))
+  | _ -> Sch.flicker ~period:4 ~duty:2
+
+let equivalence_execution ~use_reference seed =
+  let rng = Rng.of_int seed in
+  let n = 2 + Rng.int rng 30 in
+  let dual =
+    Geo.random_field ~rng ~n ~width:3.5 ~height:3.5 ~r:1.6 ~gray_g':0.5 ()
+  in
+  let scheduler = scheduler_of_seed seed in
+  (* Transmit probability spans sparse to saturated regimes. *)
+  let p = [| 0.02; 0.1; 0.3; 0.8 |].(seed mod 4) in
+  let node_rng = Rng.of_int (seed + 1) in
+  let nodes =
+    Array.init n (fun src ->
+        let node_rng = Rng.split node_rng in
+        {
+          P.decide =
+            (fun ~round:_ _ ->
+              if Rng.bernoulli node_rng p then
+                P.Transmit (M.Data (M.payload ~src ~uid:0 ()))
+              else P.Listen);
+          absorb =
+            (fun ~round delivered ->
+              match delivered with
+              | Some (M.Data payload) -> [ (round, payload.M.src) ]
+              | Some (M.Seed_msg _) | None -> []);
+        })
+  in
+  let trace, observer = Trace.recorder () in
+  let env = Radiosim.Env.null ~name:"equiv" () in
+  let executed =
+    if use_reference then
+      Engine.run_reference ~observer ~dual ~scheduler ~nodes ~env ~rounds:25 ()
+    else Engine.run ~observer ~dual ~scheduler ~nodes ~env ~rounds:25 ()
+  in
+  (executed, trace)
+
+let records_equal a b =
+  a.Trace.round = b.Trace.round
+  && a.Trace.inputs = b.Trace.inputs
+  && a.Trace.actions = b.Trace.actions
+  && a.Trace.delivered = b.Trace.delivered
+  && a.Trace.outputs = b.Trace.outputs
+
 let qcheck_cases =
   let open QCheck in
   [
+    Test.make
+      ~name:"transmitter-centric engine is trace-identical to the reference"
+      ~count:60 small_int
+      (fun seed ->
+        let fast_n, fast = equivalence_execution ~use_reference:false seed in
+        let ref_n, reference = equivalence_execution ~use_reference:true seed in
+        fast_n = ref_n
+        && Trace.length fast = Trace.length reference
+        && begin
+             let ok = ref true in
+             for i = 0 to Trace.length fast - 1 do
+               if not (records_equal (Trace.get fast i) (Trace.get reference i))
+               then ok := false
+             done;
+             !ok
+           end);
+    Test.make
+      ~name:"run_adaptive on a lifted oblivious scheduler matches run"
+      ~count:25 small_int
+      (fun seed ->
+        let run_engine ~adaptive =
+          let rng = Rng.of_int seed in
+          let n = 2 + Rng.int rng 20 in
+          let dual =
+            Geo.random_field ~rng ~n ~width:3.0 ~height:3.0 ~r:1.6 ~gray_g':0.5 ()
+          in
+          let scheduler = Sch.bernoulli ~seed ~p:0.5 in
+          let node_rng = Rng.of_int (seed + 1) in
+          let nodes =
+            Array.init n (fun src ->
+                let node_rng = Rng.split node_rng in
+                {
+                  P.decide =
+                    (fun ~round:_ _ ->
+                      if Rng.bernoulli node_rng 0.3 then
+                        P.Transmit (M.Data (M.payload ~src ~uid:0 ()))
+                      else P.Listen);
+                  absorb = (fun ~round:_ _ -> []);
+                })
+          in
+          let trace, observer = Trace.recorder () in
+          let env = Radiosim.Env.null ~name:"equiv" () in
+          let (_ : int) =
+            if adaptive then
+              Engine.run_adaptive ~observer ~dual
+                ~adversary:(Radiosim.Adaptive.of_oblivious scheduler)
+                ~nodes ~env ~rounds:20 ()
+            else Engine.run ~observer ~dual ~scheduler ~nodes ~env ~rounds:20 ()
+          in
+          List.init (Trace.length trace) (fun i ->
+              let r = Trace.get trace i in
+              (r.Trace.actions, r.Trace.delivered))
+        in
+        run_engine ~adaptive:true = run_engine ~adaptive:false);
     Test.make ~name:"engine matches the reference collision rule" ~count:40
       small_int
       (fun seed ->

@@ -261,6 +261,36 @@ let test_transmitter_counts_incidence () =
       [ Sch.all_edges; Sch.reliable_only; Sch.bernoulli ~seed:round ~p:0.5 ]
   done
 
+(* Scheduler.fill_active must agree with per-edge Scheduler.active for
+   every scheduler kind, including the custom-made default derivation. *)
+let test_scheduler_fill_active () =
+  let schedulers =
+    [
+      Sch.reliable_only;
+      Sch.all_edges;
+      Sch.bernoulli ~seed:11 ~p:0.35;
+      Sch.flicker ~period:5 ~duty:2;
+      Sch.edge_phase_flicker ~period:3;
+      Sch.thwart ~hot:(fun round -> round mod 3 = 1);
+      Sch.make ~name:"custom" (fun ~round ~edge -> (round + edge) mod 4 = 0);
+    ]
+  in
+  let m = 41 in
+  let buf = Bytes.create m in
+  List.iter
+    (fun s ->
+      for round = 0 to 24 do
+        Sch.fill_active s ~round buf;
+        for edge = 0 to m - 1 do
+          checkb
+            (Printf.sprintf "%s round %d edge %d"
+               (Format.asprintf "%a" Sch.pp s) round edge)
+            (Sch.active s ~round ~edge)
+            (Bytes.get buf edge = '\001')
+        done
+      done)
+    schedulers
+
 (* --- trace utilities --- *)
 
 let sample_trace () =
@@ -353,6 +383,7 @@ let suite =
       ("transmitter counts", test_transmitter_counts);
       ("transmitter counts unreliable", test_transmitter_counts_unreliable);
       ("transmitter counts precomputed incidence", test_transmitter_counts_incidence);
+      ("scheduler fill_active agrees with active", test_scheduler_fill_active);
       ("trace length/get", test_trace_length_get);
       ("trace queries", test_trace_queries);
       ("trace fold/iter", test_trace_fold_iter);
