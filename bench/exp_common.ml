@@ -41,6 +41,18 @@ let domains =
 let run_trials ?(salt = 0) ~n f =
   Stats.Experiment.trials_par ~domains:!domains ~seed:(master_seed + salt) ~n f
 
+(* The working tree's short git revision, stamped into the JSON
+   artifacts (BENCH_micro.json, BENCH_obs.json) so perf and observability
+   trajectories can be tracked across commits. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when rev <> "" -> rev
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 let section title =
   Printf.printf "\n######## %s ########\n%!" title
 

@@ -132,38 +132,22 @@ let m6_bernoulli_round =
          ignore
            (Engine.run ~dual ~scheduler ~nodes ~env ~incidence ~rounds:1 ())))
 
-(* --- JSON trajectory snapshot --- *)
+(* --- JSON trajectory snapshot ---
 
-let git_rev () =
-  try
-    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-    let rev = try String.trim (input_line ic) with End_of_file -> "" in
-    match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when rev <> "" -> rev
-    | _ -> "unknown"
-  with _ -> "unknown"
+   The writer escapes through the observability layer's shared
+   Obs.Json.escape (one correct escaping implementation for every JSON
+   artifact in the repository) and is newline-terminated. *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let git_rev = Exp_common.git_rev
 
 let write_json ~path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"git_rev\": \"%s\",\n  \"results\": {\n"
-    (json_escape (git_rev ()));
+    (Obs.Json.escape (git_rev ()));
   List.iteri
     (fun i (name, ns, r2) ->
       Printf.fprintf oc "    \"%s\": { \"ns_per_run\": %.3f, \"r_square\": %s }%s\n"
-        (json_escape name) ns
+        (Obs.Json.escape name) ns
         (match r2 with Some r -> Printf.sprintf "%.6f" r | None -> "null")
         (if i = List.length rows - 1 then "" else ","))
     rows;

@@ -200,7 +200,32 @@ let run_cmd =
       & info [ "tack-phases" ] ~docv:"INT"
           ~doc:"Override the derived Tack phase count.")
   in
-  let run topology scheduler seed n width r gray eps phases senders tack load =
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Write the run's full event stream to FILE as JSONL.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write per-phase metric snapshots to FILE (the BENCH_obs.json \
+             artifact format).")
+  in
+  let audit_arg =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Run the online spec auditor over the event stream and report \
+             t_ack / t_prog deadline misses and delta-bound breaches.")
+  in
+  let run topology scheduler seed n width r gray eps phases senders tack load
+      events metrics_path audit =
     let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
     let n = Dual.n dual in
     Format.printf "%a@." Dual.pp dual;
@@ -212,11 +237,39 @@ let run_cmd =
     let envt = L.Lb_env.saturate ~n ~senders () in
     let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
     let rounds = phases * params.L.Params.phase_len in
+    (* Observability wiring: any of --events/--metrics/--audit needs the
+       event stream, so they share one sink sized to the whole run. *)
+    let want_obs = events <> None || metrics_path <> None || audit in
+    let sink =
+      if want_obs then
+        Some (Obs.Sink.create ~capacity:(max 65536 (rounds * ((2 * n) + 8))) ())
+      else None
+    in
+    let registry =
+      match metrics_path with Some _ -> Some (Obs.Metrics.create ()) | None -> None
+    in
+    let auditor =
+      if audit then begin
+        let a = L.Lb_obs.auditor ~dual ~params () in
+        (match sink with
+        | Some s -> Obs.Sink.on_event s (Obs.Audit.observe a)
+        | None -> ());
+        Some a
+      end
+      else None
+    in
+    let glue =
+      match sink with
+      | Some s -> Some (L.Lb_obs.create ?metrics:registry ~sink:s ~dual ~params ())
+      | None -> None
+    in
+    let observer record =
+      L.Lb_spec.observe monitor record;
+      match glue with Some g -> L.Lb_obs.observer g record | None -> ()
+    in
     let executed, secs =
       Stats.Experiment.time (fun () ->
-          Radiosim.Engine.run
-            ~observer:(L.Lb_spec.observe monitor)
-            ~dual
+          Radiosim.Engine.run ~observer ?sink ~dual
             ~scheduler:(make_scheduler scheduler ~seed)
             ~nodes ~env:(L.Lb_env.env envt) ~rounds ())
     in
@@ -233,14 +286,44 @@ let run_cmd =
       (100.0 *. L.Lb_spec.reliability_rate report)
       (report.L.Lb_spec.progress_opportunities - report.L.Lb_spec.progress_failures)
       report.L.Lb_spec.progress_opportunities
-      (100.0 *. L.Lb_spec.progress_rate report)
+      (100.0 *. L.Lb_spec.progress_rate report);
+    (match auditor with
+    | None -> ()
+    | Some a ->
+        Obs.Audit.finish a;
+        let violations = Obs.Audit.violations a in
+        Format.printf "audit: %d violation%s over %d rounds of events@."
+          (List.length violations)
+          (if List.length violations = 1 then "" else "s")
+          (Obs.Audit.rounds_seen a);
+        List.iteri
+          (fun i v ->
+            if i < 20 then Format.printf "  %a@." Obs.Audit.pp_violation v)
+          violations;
+        if List.length violations > 20 then
+          Format.printf "  ... and %d more@." (List.length violations - 20));
+    (match (events, sink) with
+    | Some path, Some s ->
+        Obs.Sink.save_jsonl s ~path;
+        Format.printf "wrote %d events to %s (%d emitted, %d dropped)@."
+          (Obs.Sink.length s) path (Obs.Sink.emitted s) (Obs.Sink.dropped s)
+    | _ -> ());
+    match (metrics_path, glue, registry) with
+    | Some path, Some g, Some reg ->
+        let snapshots =
+          L.Lb_obs.snapshots g @ [ Obs.Metrics.snapshot ~label:"final" reg ]
+        in
+        Obs.Metrics.write_json ~path snapshots;
+        Format.printf "wrote %d metric snapshots to %s@."
+          (List.length snapshots) path
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the LBAlg local broadcast service.")
     Term.(
       const run $ topology_arg $ scheduler_arg $ seed_arg $ n_arg $ width_arg
       $ r_arg $ gray_arg $ eps_arg $ phases_arg $ senders_arg $ tack_arg
-      $ load_arg)
+      $ load_arg $ events_arg $ metrics_arg $ audit_arg)
 
 (* --- flood --- *)
 

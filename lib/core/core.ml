@@ -7,6 +7,7 @@
 module Prng = Prng
 module Dualgraph = Dualgraph
 module Radiosim = Radiosim
+module Obs = Obs
 module Localcast = Localcast
 module Baseline = Baseline
 module Macapps = Macapps

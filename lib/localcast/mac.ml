@@ -69,8 +69,21 @@ let request t ~node ~tag =
 let f_prog t = Params.t_prog_rounds t.params
 let f_ack t = Params.t_ack_rounds t.params
 
-let run ?observer ?stop t ~scheduler ~rounds =
+let run ?observer ?stop ?sink ?metrics t ~scheduler ~rounds =
   if t.started then invalid_arg "Mac.run: already run";
   t.started <- true;
-  Radiosim.Engine.run ?observer ?stop ~dual:t.dual ~scheduler ~nodes:t.nodes
-    ~env:t.env ~rounds ()
+  let observer =
+    match sink with
+    | None -> observer
+    | Some sink ->
+        (* Interleave the protocol stream with the engine's structural
+           one, as Service.run does. *)
+        let glue = Lb_obs.create ?metrics ~sink ~dual:t.dual ~params:t.params () in
+        let f record =
+          Lb_obs.observer glue record;
+          match observer with Some f -> f record | None -> ()
+        in
+        Some f
+  in
+  Radiosim.Engine.run ?observer ?stop ?sink ~dual:t.dual ~scheduler
+    ~nodes:t.nodes ~env:t.env ~rounds ()

@@ -56,9 +56,16 @@ val run :
   ?stop:
     ((Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Trace.round_record ->
     bool) ->
+  ?sink:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
   t ->
   scheduler:Radiosim.Scheduler.t ->
   rounds:int ->
   int
 (** Drive the network for up to [rounds] rounds (callbacks fire as events
-    happen); returns rounds executed.  May only be called once per [t]. *)
+    happen); returns rounds executed.  May only be called once per [t].
+    [sink] receives the engine's structural events interleaved with the
+    {!Lb_obs}-translated protocol events, as in {!Service.run}; when
+    [metrics] is also given the conventional instruments (see
+    [docs/OBSERVABILITY.md]) are maintained in it.  [metrics] without
+    [sink] is ignored. *)

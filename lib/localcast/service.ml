@@ -7,18 +7,30 @@ type outcome = {
   report : Lb_spec.report;
   env_log : Lb_env.entry list;
   rounds_executed : int;
+  obs_snapshots : Obs.Metrics.snapshot list;
 }
 
 let default_scheduler ~seed = Sch.bernoulli ~seed ~p:0.5
 
-let finish ~monitor ~envt ~rounds_executed =
+let finish ?glue ~monitor ~envt ~rounds_executed () =
   {
     report = Lb_spec.finish monitor;
     env_log = Lb_env.log envt;
     rounds_executed;
+    obs_snapshots =
+      (match glue with Some g -> Lb_obs.snapshots g | None -> []);
   }
 
-let run ?scheduler ?seed_source ?observer ~dual ~params ~senders ~phases ~seed () =
+(* The optional observability wiring shared by [run] and [one_shot]: a
+   protocol-event translator when a sink is present (metrics ride on
+   it), composed after the spec monitor so both see each record. *)
+let obs_glue ?sink ?metrics ~dual ~params () =
+  match sink with
+  | None -> None
+  | Some sink -> Some (Lb_obs.create ?metrics ~sink ~dual ~params ())
+
+let run ?scheduler ?seed_source ?observer ?sink ?metrics ~dual ~params ~senders
+    ~phases ~seed () =
   let scheduler =
     match scheduler with Some s -> s | None -> default_scheduler ~seed
   in
@@ -27,18 +39,21 @@ let run ?scheduler ?seed_source ?observer ~dual ~params ~senders ~phases ~seed (
   let nodes = Lb_alg.network ?seed_source params ~rng ~n in
   let envt = Lb_env.saturate ~n ~senders () in
   let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let glue = obs_glue ?sink ?metrics ~dual ~params () in
   let observe record =
     Lb_spec.observe monitor record;
+    (match glue with Some g -> Lb_obs.observer g record | None -> ());
     match observer with Some f -> f record | None -> ()
   in
   let rounds_executed =
-    Engine.run ~observer:observe ~dual ~scheduler ~nodes ~env:(Lb_env.env envt)
+    Engine.run ~observer:observe ?sink ~dual ~scheduler ~nodes
+      ~env:(Lb_env.env envt)
       ~rounds:(phases * params.Params.phase_len)
       ()
   in
-  finish ~monitor ~envt ~rounds_executed
+  finish ?glue ~monitor ~envt ~rounds_executed ()
 
-let one_shot ?scheduler ~dual ~params ~sender ~seed () =
+let one_shot ?scheduler ?sink ?metrics ~dual ~params ~sender ~seed () =
   let scheduler =
     match scheduler with Some s -> s | None -> default_scheduler ~seed
   in
@@ -47,13 +62,18 @@ let one_shot ?scheduler ~dual ~params ~sender ~seed () =
   let nodes = Lb_alg.network params ~rng ~n in
   let envt = Lb_env.one_shot ~n ~bcasts:[ (sender, 0) ] in
   let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let glue = obs_glue ?sink ?metrics ~dual ~params () in
+  let observe record =
+    Lb_spec.observe monitor record;
+    match glue with Some g -> Lb_obs.observer g record | None -> ()
+  in
   let rounds_executed =
-    Engine.run ~observer:(Lb_spec.observe monitor) ~dual ~scheduler ~nodes
+    Engine.run ~observer:observe ?sink ~dual ~scheduler ~nodes
       ~env:(Lb_env.env envt)
       ~rounds:(Params.t_ack_rounds params)
       ()
   in
-  let outcome = finish ~monitor ~envt ~rounds_executed in
+  let outcome = finish ?glue ~monitor ~envt ~rounds_executed () in
   let completion =
     match outcome.env_log with
     | [ entry ] ->
@@ -72,8 +92,8 @@ let one_shot ?scheduler ~dual ~params ~sender ~seed () =
   in
   (outcome, completion)
 
-let first_reception ?scheduler ?seed_source ~dual ~params ~receiver ~max_rounds
-    ~seed () =
+let first_reception ?scheduler ?seed_source ?sink ~dual ~params ~receiver
+    ~max_rounds ~seed () =
   let scheduler =
     match scheduler with Some s -> s | None -> default_scheduler ~seed
   in
@@ -91,7 +111,7 @@ let first_reception ?scheduler ?seed_source ~dual ~params ~receiver ~max_rounds
     | _ -> false
   in
   let (_ : int) =
-    Engine.run ~stop ~dual ~scheduler ~nodes ~env:(Lb_env.env envt)
+    Engine.run ~stop ?sink ~dual ~scheduler ~nodes ~env:(Lb_env.env envt)
       ~rounds:max_rounds ()
   in
   !result

@@ -9,9 +9,12 @@
     experiment harness in [bench/] is built from exactly these. *)
 
 type outcome = {
-  report : Lb_spec.report;
-  env_log : Lb_env.entry list;
+  report : Lb_spec.report;  (** the spec monitor's verdicts *)
+  env_log : Lb_env.entry list;  (** per-bcast ack/reception log *)
   rounds_executed : int;
+  obs_snapshots : Obs.Metrics.snapshot list;
+      (** per-phase metric snapshots, oldest first; non-empty only when
+          the run was given both a sink and a metrics registry *)
 }
 
 val run :
@@ -20,6 +23,8 @@ val run :
   ?observer:
     ((Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Trace.round_record ->
     unit) ->
+  ?sink:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   senders:int list ->
@@ -30,10 +35,21 @@ val run :
 (** Saturates the given senders for [phases] service phases under the
     scheduler (default Bernoulli(1/2) derived from [seed]) and returns
     the spec monitor's verdicts.  [observer] additionally sees every
-    round record. *)
+    round record.
+
+    [sink] turns on observability: the engine emits its structural
+    events into it and a {!Lb_obs} translator adds the protocol events,
+    interleaved in causal order (an {!Obs.Audit} consumer registered on
+    the sink before the call sees the complete stream).  [metrics], used
+    together with [sink], additionally maintains the conventional
+    instruments and fills [obs_snapshots] with one labeled snapshot per
+    completed phase.  Neither option perturbs the execution: traces,
+    verdicts and RNG draws are identical with and without them. *)
 
 val one_shot :
   ?scheduler:Radiosim.Scheduler.t ->
+  ?sink:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   sender:int ->
@@ -43,11 +59,12 @@ val one_shot :
 (** A single [bcast] at round 0, run for the full derived
     acknowledgement window [t_ack].  The second component is the round by
     which the {e last} reliable neighbor had received the message, if all
-    of them did. *)
+    of them did.  [sink] and [metrics] behave as in {!run}. *)
 
 val first_reception :
   ?scheduler:Radiosim.Scheduler.t ->
   ?seed_source:Lb_alg.seed_source ->
+  ?sink:Obs.Sink.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   receiver:int ->
@@ -57,4 +74,5 @@ val first_reception :
   int option
 (** All nodes except [receiver] saturate; returns the 0-based round of
     the receiver's first clean data reception, or [None] if it starves
-    for [max_rounds]. *)
+    for [max_rounds].  [sink] receives the engine's structural events
+    (this runner has no spec observer, so no protocol events). *)

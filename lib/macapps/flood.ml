@@ -8,9 +8,22 @@ type result = {
   rounds_executed : int;
 }
 
-let run ~params ~rng ~dual ~scheduler ~source ~max_rounds ?(flood_tag = 1) () =
+let run ?sink ?metrics ~params ~rng ~dual ~scheduler ~source ~max_rounds
+    ?(flood_tag = 1) () =
   let n = Dualgraph.Dual.n dual in
   if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
+  let mark ~round ~node label =
+    match sink with
+    | None -> ()
+    | Some s -> Obs.Sink.emit s (Obs.Event.Mark { round; node; label })
+  in
+  let m_relays, m_covered =
+    match metrics with
+    | None -> (None, None)
+    | Some registry ->
+        ( Some (Obs.Metrics.counter registry "flood.relays"),
+          Some (Obs.Metrics.gauge registry "flood.covered") )
+  in
   let covered = Array.make n false in
   let relayed = Array.make n false in
   let covered_count = ref 0 in
@@ -21,16 +34,28 @@ let run ~params ~rng ~dual ~scheduler ~source ~max_rounds ?(flood_tag = 1) () =
     if not covered.(node) then begin
       covered.(node) <- true;
       incr covered_count;
-      if !covered_count = n && !completion_round = None then
-        completion_round := Some round
+      mark ~round ~node "flood.cover";
+      (match m_covered with
+      | Some g -> Obs.Metrics.set g (float_of_int !covered_count)
+      | None -> ());
+      if !covered_count = n && !completion_round = None then begin
+        completion_round := Some round;
+        mark ~round ~node:(-1) "flood.complete"
+      end
     end
   in
-  let relay ~node =
+  let relay ~round ~node =
     if not relayed.(node) then begin
       relayed.(node) <- true;
       match !mac with
       | Some mac ->
-          if Mac.request mac ~node ~tag:flood_tag then incr relays
+          if Mac.request mac ~node ~tag:flood_tag then begin
+            incr relays;
+            mark ~round ~node "flood.relay";
+            match m_relays with
+            | Some c -> Obs.Metrics.incr c
+            | None -> ()
+          end
           else relayed.(node) <- false (* busy: retry on a later reception *)
       | None -> ()
     end
@@ -41,7 +66,7 @@ let run ~params ~rng ~dual ~scheduler ~source ~max_rounds ?(flood_tag = 1) () =
         (fun ~node ~round payload ->
           if payload.Localcast.Messages.tag = flood_tag then begin
             cover ~round node;
-            relay ~node
+            relay ~round ~node
           end);
       on_ack = (fun ~node:_ ~round:_ _ -> ());
     }
@@ -50,9 +75,15 @@ let run ~params ~rng ~dual ~scheduler ~source ~max_rounds ?(flood_tag = 1) () =
   mac := Some m;
   cover ~round:0 source;
   relayed.(source) <- true;
-  if Mac.request m ~node:source ~tag:flood_tag then incr relays;
+  if Mac.request m ~node:source ~tag:flood_tag then begin
+    incr relays;
+    mark ~round:0 ~node:source "flood.relay";
+    match m_relays with Some c -> Obs.Metrics.incr c | None -> ()
+  end;
   let stop _record = !covered_count = n in
-  let rounds_executed = Mac.run ~stop m ~scheduler ~rounds:max_rounds in
+  let rounds_executed =
+    Mac.run ~stop ?sink ?metrics m ~scheduler ~rounds:max_rounds
+  in
   {
     covered;
     covered_count = !covered_count;

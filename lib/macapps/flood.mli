@@ -19,6 +19,8 @@ type result = {
 }
 
 val run :
+  ?sink:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
   params:Localcast.Params.t ->
   rng:Prng.Rng.t ->
   dual:Dualgraph.Dual.t ->
@@ -30,4 +32,11 @@ val run :
   result
 (** Floods from [source], stopping as soon as every vertex is covered or
     [max_rounds] elapse.  [flood_tag] (default 1) identifies the flood in
-    message tags. *)
+    message tags.
+
+    [sink] receives the full stack's event stream (engine structural
+    events, LB protocol events via the MAC) plus the flood's own [Mark]
+    annotations: [flood.cover] when a node first gets the message,
+    [flood.relay] when it rebroadcasts, and a network-wide
+    [flood.complete] when coverage reaches n.  [metrics] maintains the
+    [flood.relays] counter and [flood.covered] gauge alongside. *)

@@ -1,0 +1,233 @@
+type kind =
+  | Late_ack of { latency : int }
+  | Missing_ack of { bcast_round : int }
+  | Progress_miss of { phase : int }
+  | Delta_breach of { owners : int; bound : int }
+
+type violation = {
+  kind : kind;
+  node : int;
+  round : int;
+  detail : string;
+  window : Event.t list;
+}
+
+let pp_violation ppf v = Format.pp_print_string ppf v.detail
+
+type t = {
+  t_ack : int;
+  t_prog : int option;
+  delta_bound : int option;
+  g : int array array option;
+  g'_closed : int array array option;
+  recent : Sink.t;  (** the evidence ring *)
+  outstanding : (int * int, int) Hashtbl.t;  (** (node, uid) → bcast round *)
+  missed : (int * int, int) Hashtbl.t;  (** flagged missing, for late acks *)
+  mutable acks_rev : (int * int * int) list;
+  mutable violations_rev : violation list;
+  mutable cur_round : int;  (** highest round seen, -1 before any event *)
+  (* progress state (allocated when g is present) *)
+  active_count : int array;  (** outstanding bcasts per node *)
+  active_all : bool array;  (** active in every round of the open phase *)
+  got_progress : bool array;  (** qualifying reception seen this phase *)
+  mutable pending_deactivate : int list;
+      (** acked this round; deactivated after the round's activity check *)
+  mutable open_phase : int option;
+  (* δ state (allocated when g'_closed is present) *)
+  commits : int array;  (** committed owner per node, min_int = none *)
+  mutable commits_dirty : bool;
+  mutable finished : bool;
+}
+
+let create ?(window = 64) ?t_prog ?delta_bound ?g ?g'_closed ~t_ack () =
+  if t_ack < 0 then invalid_arg "Audit.create: negative t_ack";
+  let n =
+    match (g, g'_closed) with
+    | Some g, _ -> Array.length g
+    | None, Some g' -> Array.length g'
+    | None, None -> 0
+  in
+  (match (g, g'_closed) with
+  | Some g, Some g' when Array.length g <> Array.length g' ->
+      invalid_arg "Audit.create: g and g'_closed disagree on vertex count"
+  | _ -> ());
+  {
+    t_ack;
+    t_prog;
+    delta_bound;
+    g;
+    g'_closed;
+    recent = Sink.create ~capacity:window ();
+    outstanding = Hashtbl.create 32;
+    missed = Hashtbl.create 8;
+    acks_rev = [];
+    violations_rev = [];
+    cur_round = -1;
+    active_count = Array.make (max n 1) 0;
+    active_all = Array.make (max n 1) true;
+    got_progress = Array.make (max n 1) false;
+    pending_deactivate = [];
+    open_phase = None;
+    commits = Array.make (max n 1) min_int;
+    commits_dirty = false;
+    finished = false;
+  }
+
+let flag t ~kind ~node ~round detail =
+  t.violations_rev <-
+    { kind; node; round; detail; window = Sink.to_list t.recent }
+    :: t.violations_rev
+
+(* δ check: distinct committed owners per closed G'-neighborhood.  Run
+   whenever the commit map changed since the last check (once per phase
+   in a normal stream). *)
+let check_delta t ~round =
+  match (t.delta_bound, t.g'_closed) with
+  | Some bound, Some closed when t.commits_dirty ->
+      t.commits_dirty <- false;
+      Array.iteri
+        (fun u neighborhood ->
+          let owners = ref [] in
+          Array.iter
+            (fun v ->
+              let owner = t.commits.(v) in
+              if owner <> min_int && not (List.mem owner !owners) then
+                owners := owner :: !owners)
+            neighborhood;
+          let count = List.length !owners in
+          if count > bound then
+            flag t ~kind:(Delta_breach { owners = count; bound }) ~node:u ~round
+              (Printf.sprintf
+                 "round %d: node %d sees %d distinct seed owners in its closed \
+                  G'-neighborhood (bound delta = %d)"
+                 round u count bound))
+        closed
+  | _ -> ()
+
+(* Close the open progress phase: every receiver with a reliable neighbor
+   active through the whole phase must have had a qualifying reception. *)
+let close_phase t ~round =
+  (match (t.open_phase, t.g) with
+  | Some phase, Some g ->
+      Array.iteri
+        (fun u neighbors ->
+          let opportunity =
+            Array.exists (fun v -> t.active_all.(v)) neighbors
+          in
+          if opportunity && not t.got_progress.(u) then
+            flag t ~kind:(Progress_miss { phase }) ~node:u ~round
+              (Printf.sprintf
+                 "round %d: node %d missed the progress deadline of phase %d \
+                  (a reliable neighbor was active all phase, no qualifying \
+                  reception)"
+                 round u phase))
+        g
+  | _ -> ());
+  t.open_phase <- None;
+  (* Mirror Lb_spec.close_phase: presume fully active, let each round's
+     activity check (at Round_end) clear the nodes that are not. *)
+  Array.fill t.active_all 0 (Array.length t.active_all) true;
+  Array.fill t.got_progress 0 (Array.length t.got_progress) false
+
+let flag_missing t ~now (node, uid) bcast_round =
+  Hashtbl.remove t.outstanding (node, uid);
+  Hashtbl.replace t.missed (node, uid) bcast_round;
+  flag t ~kind:(Missing_ack { bcast_round }) ~node ~round:now
+    (Printf.sprintf
+       "round %d: bcast of node %d (uid %d, issued round %d) unacknowledged \
+        after t_ack = %d rounds"
+       now node uid bcast_round t.t_ack)
+
+let observe t ev =
+  if t.finished then invalid_arg "Audit.observe: auditor already finished";
+  Sink.emit t.recent ev;
+  let round = Event.round ev in
+  if round > t.cur_round then t.cur_round <- round;
+  match ev with
+  | Event.Bcast { round; node; uid } ->
+      Hashtbl.replace t.outstanding (node, uid) round;
+      if node < Array.length t.active_count then
+        t.active_count.(node) <- t.active_count.(node) + 1
+  | Event.Ack { round; node; uid; latency = _ } -> (
+      (* The sender stays active through its ack round; deactivate at
+         Round_end, after the round's activity check. *)
+      t.pending_deactivate <- node :: t.pending_deactivate;
+      match Hashtbl.find_opt t.outstanding (node, uid) with
+      | Some bcast_round ->
+          Hashtbl.remove t.outstanding (node, uid);
+          let latency = round - bcast_round in
+          t.acks_rev <- (node, uid, latency) :: t.acks_rev;
+          if latency > t.t_ack then
+            flag t ~kind:(Late_ack { latency }) ~node ~round
+              (Printf.sprintf
+                 "round %d: ack of node %d (uid %d) took %d rounds (t_ack = %d)"
+                 round node uid latency t.t_ack)
+      | None -> (
+          (* Already flagged missing: record the eventual latency, no
+             second violation for the same bcast. *)
+          match Hashtbl.find_opt t.missed (node, uid) with
+          | Some bcast_round ->
+              Hashtbl.remove t.missed (node, uid);
+              t.acks_rev <- (node, uid, round - bcast_round) :: t.acks_rev
+          | None -> t.acks_rev <- (node, uid, 0) :: t.acks_rev))
+  | Event.Phase_start { round; phase; preamble = _ } ->
+      check_delta t ~round;
+      close_phase t ~round;
+      t.open_phase <- Some phase
+  | Event.Progress { round = _; node; latency = _ } ->
+      if node < Array.length t.got_progress then t.got_progress.(node) <- true
+  | Event.Seed_commit { round = _; node; owner } ->
+      if node < Array.length t.commits then begin
+        t.commits.(node) <- owner;
+        t.commits_dirty <- true
+      end
+  | Event.Round_end { round; _ } ->
+      (* Activity check mirrors Lb_spec: a node not active this round
+         forfeits active_all; acked senders deactivate only now. *)
+      Array.iteri
+        (fun v c -> if c = 0 then t.active_all.(v) <- false)
+        t.active_count;
+      List.iter
+        (fun node ->
+          if node < Array.length t.active_count then
+            t.active_count.(node) <- max 0 (t.active_count.(node) - 1))
+        t.pending_deactivate;
+      t.pending_deactivate <- [];
+      (* Online missing-ack scan. *)
+      let overdue =
+        Hashtbl.fold
+          (fun key bcast_round acc ->
+            if round - bcast_round > t.t_ack then (key, bcast_round) :: acc
+            else acc)
+          t.outstanding []
+      in
+      List.iter
+        (fun (key, bcast_round) -> flag_missing t ~now:round key bcast_round)
+        (List.sort compare overdue)
+  | Event.Round_start _ | Event.Transmit _ | Event.Deliver _
+  | Event.Collision _ | Event.Recv _ | Event.Mark _ -> ()
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    let rounds = t.cur_round + 1 in
+    check_delta t ~round:t.cur_round;
+    close_phase t ~round:t.cur_round;
+    (* Lb_spec's end-of-run rule: missing iff rounds_observed - b > t_ack. *)
+    let overdue =
+      Hashtbl.fold
+        (fun key bcast_round acc ->
+          if rounds - bcast_round > t.t_ack then (key, bcast_round) :: acc
+          else acc)
+        t.outstanding []
+    in
+    List.iter
+      (fun (key, bcast_round) -> flag_missing t ~now:t.cur_round key bcast_round)
+      (List.sort compare overdue)
+  end
+
+let violations t = List.rev t.violations_rev
+
+let ack_latencies t = List.rev t.acks_rev
+
+let rounds_seen t = t.cur_round + 1

@@ -1,0 +1,92 @@
+(** Online spec-violation auditor over the event stream.
+
+    The auditor consumes events as they are emitted (register {!observe}
+    with {!Sink.on_event}, or replay a JSONL file through it) and flags,
+    the moment they become detectable:
+
+    - {e Late acknowledgements}: an [Ack] whose latency exceeds [t_ack];
+    - {e Missing acknowledgements}: a [Bcast] still unanswered once
+      [t_ack] rounds have elapsed (checked online at every [Round_end]
+      and finally at {!finish}, matching [Lb_spec]'s end-of-run rule);
+    - {e Progress deadline misses} (needs [t_prog] and [g]): a
+      (receiver, phase) pair whose receiver had a reliable neighbor
+      actively broadcasting through the {e entire} phase — activity is
+      reconstructed from [Bcast]/[Ack] events — yet saw no qualifying
+      reception ([Progress] event) during it;
+    - {e δ-bound breaches} (needs [delta_bound] and [g'_closed]): a
+      vertex whose closed G'-neighborhood committed to more than
+      [delta_bound] distinct seed owners ([Seed_commit] events), checked
+      once per phase.
+
+    Each violation carries the window of events that led up to it (the
+    auditor's own bounded ring of recent events), so a deadline miss
+    arrives with its causal context instead of a bare counter.
+
+    Progress and δ auditing interpret the protocol-level events that
+    [Localcast.Lb_obs] adds to the stream; a stream containing only the
+    engine's structural events still gets full acknowledgement
+    auditing. *)
+
+type kind =
+  | Late_ack of { latency : int }  (** latency > t_ack *)
+  | Missing_ack of { bcast_round : int }
+      (** unanswered with > t_ack rounds elapsed *)
+  | Progress_miss of { phase : int }
+      (** opportunity (fully-active reliable neighbor) without a
+          qualifying reception *)
+  | Delta_breach of { owners : int; bound : int }
+      (** distinct committed seed owners in the closed G'-neighborhood
+          above the bound *)
+
+type violation = {
+  kind : kind;
+  node : int;  (** the vertex the obligation belonged to *)
+  round : int;  (** the round at which the violation became detectable *)
+  detail : string;  (** human-readable one-liner *)
+  window : Event.t list;
+      (** the auditor's recent-event window at detection time, oldest
+          first — the evidence trail *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+(** The [detail] line; print [window] yourself for the full context. *)
+
+type t
+
+val create :
+  ?window:int ->
+  ?t_prog:int ->
+  ?delta_bound:int ->
+  ?g:int array array ->
+  ?g'_closed:int array array ->
+  t_ack:int ->
+  unit ->
+  t
+(** [window] (default 64) bounds the evidence ring.  [g] is the reliable
+    adjacency (enables progress auditing together with [t_prog]);
+    [g'_closed] the {e closed} G'-neighborhoods, vertex included (enables
+    δ auditing together with [delta_bound]).  [Localcast.Lb_obs.auditor]
+    derives all of these from a topology and a parameter set. *)
+
+val observe : t -> Event.t -> unit
+(** Feed one event.  Events must arrive in round order (any order within
+    a round is fine as long as [Round_end] comes last, which the engine
+    guarantees). *)
+
+val finish : t -> unit
+(** Close the stream: judge still-outstanding acknowledgements against
+    the rounds that actually elapsed and close the open phase.
+    Idempotent; further {!observe} calls are errors. *)
+
+val violations : t -> violation list
+(** All violations so far, in detection order.  Callable before
+    {!finish} for live monitoring. *)
+
+val ack_latencies : t -> (int * int * int) list
+(** Every acknowledged bcast as [(node, uid, latency)], in ack order —
+    the auditor's reconstruction of the experiment ack-latency table
+    (includes acks that arrived after their deadline was already
+    flagged). *)
+
+val rounds_seen : t -> int
+(** Number of rounds the stream has covered (last round + 1). *)

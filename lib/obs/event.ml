@@ -1,0 +1,175 @@
+type t =
+  | Round_start of { round : int }
+  | Round_end of {
+      round : int;
+      transmitters : int;
+      deliveries : int;
+      collisions : int;
+    }
+  | Transmit of { round : int; node : int }
+  | Deliver of { round : int; node : int }
+  | Collision of { round : int; node : int }
+  | Phase_start of { round : int; phase : int; preamble : bool }
+  | Seed_commit of { round : int; node : int; owner : int }
+  | Bcast of { round : int; node : int; uid : int }
+  | Recv of { round : int; node : int; src : int; uid : int }
+  | Ack of { round : int; node : int; uid : int; latency : int }
+  | Progress of { round : int; node : int; latency : int }
+  | Mark of { round : int; node : int; label : string }
+
+let round = function
+  | Round_start { round }
+  | Round_end { round; _ }
+  | Transmit { round; _ }
+  | Deliver { round; _ }
+  | Collision { round; _ }
+  | Phase_start { round; _ }
+  | Seed_commit { round; _ }
+  | Bcast { round; _ }
+  | Recv { round; _ }
+  | Ack { round; _ }
+  | Progress { round; _ }
+  | Mark { round; _ } -> round
+
+let kind = function
+  | Round_start _ -> "round_start"
+  | Round_end _ -> "round_end"
+  | Transmit _ -> "transmit"
+  | Deliver _ -> "deliver"
+  | Collision _ -> "collision"
+  | Phase_start _ -> "phase_start"
+  | Seed_commit _ -> "seed_commit"
+  | Bcast _ -> "bcast"
+  | Recv _ -> "recv"
+  | Ack _ -> "ack"
+  | Progress _ -> "progress"
+  | Mark _ -> "mark"
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf ev =
+  match ev with
+  | Round_start { round } -> Format.fprintf ppf "r%d start" round
+  | Round_end { round; transmitters; deliveries; collisions } ->
+      Format.fprintf ppf "r%d end tx=%d del=%d col=%d" round transmitters
+        deliveries collisions
+  | Transmit { round; node } -> Format.fprintf ppf "r%d %d!" round node
+  | Deliver { round; node } -> Format.fprintf ppf "r%d %d<-" round node
+  | Collision { round; node } -> Format.fprintf ppf "r%d %d<-*collision*" round node
+  | Phase_start { round; phase; preamble } ->
+      Format.fprintf ppf "r%d phase %d%s" round phase
+        (if preamble then " (preamble)" else "")
+  | Seed_commit { round; node; owner } ->
+      Format.fprintf ppf "r%d %d commits seed of %d" round node owner
+  | Bcast { round; node; uid } ->
+      Format.fprintf ppf "r%d bcast(%d#%d)" round node uid
+  | Recv { round; node; src; uid } ->
+      Format.fprintf ppf "r%d %d:recv(%d#%d)" round node src uid
+  | Ack { round; node; uid; latency } ->
+      Format.fprintf ppf "r%d %d:ack(#%d) after %d" round node uid latency
+  | Progress { round; node; latency } ->
+      Format.fprintf ppf "r%d %d:progress at +%d" round node latency
+  | Mark { round; node; label } ->
+      Format.fprintf ppf "r%d %d:mark %s" round node label
+
+let to_json ev =
+  match ev with
+  | Round_start { round } ->
+      Printf.sprintf {|{"ev":"round_start","round":%d}|} round
+  | Round_end { round; transmitters; deliveries; collisions } ->
+      Printf.sprintf
+        {|{"ev":"round_end","round":%d,"transmitters":%d,"deliveries":%d,"collisions":%d}|}
+        round transmitters deliveries collisions
+  | Transmit { round; node } ->
+      Printf.sprintf {|{"ev":"transmit","round":%d,"node":%d}|} round node
+  | Deliver { round; node } ->
+      Printf.sprintf {|{"ev":"deliver","round":%d,"node":%d}|} round node
+  | Collision { round; node } ->
+      Printf.sprintf {|{"ev":"collision","round":%d,"node":%d}|} round node
+  | Phase_start { round; phase; preamble } ->
+      Printf.sprintf {|{"ev":"phase_start","round":%d,"phase":%d,"preamble":%b}|}
+        round phase preamble
+  | Seed_commit { round; node; owner } ->
+      Printf.sprintf {|{"ev":"seed_commit","round":%d,"node":%d,"owner":%d}|}
+        round node owner
+  | Bcast { round; node; uid } ->
+      Printf.sprintf {|{"ev":"bcast","round":%d,"node":%d,"uid":%d}|} round node
+        uid
+  | Recv { round; node; src; uid } ->
+      Printf.sprintf {|{"ev":"recv","round":%d,"node":%d,"src":%d,"uid":%d}|}
+        round node src uid
+  | Ack { round; node; uid; latency } ->
+      Printf.sprintf {|{"ev":"ack","round":%d,"node":%d,"uid":%d,"latency":%d}|}
+        round node uid latency
+  | Progress { round; node; latency } ->
+      Printf.sprintf {|{"ev":"progress","round":%d,"node":%d,"latency":%d}|}
+        round node latency
+  | Mark { round; node; label } ->
+      Printf.sprintf {|{"ev":"mark","round":%d,"node":%d,"label":"%s"}|} round
+        node (Json.escape label)
+
+let of_json_line line =
+  let ( let* ) = Result.bind in
+  let* fields = Json.parse_flat line in
+  let* ev = Json.field_str fields "ev" in
+  let int = Json.field_int fields in
+  match ev with
+  | "round_start" ->
+      let* round = int "round" in
+      Ok (Round_start { round })
+  | "round_end" ->
+      let* round = int "round" in
+      let* transmitters = int "transmitters" in
+      let* deliveries = int "deliveries" in
+      let* collisions = int "collisions" in
+      Ok (Round_end { round; transmitters; deliveries; collisions })
+  | "transmit" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Transmit { round; node })
+  | "deliver" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Deliver { round; node })
+  | "collision" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Collision { round; node })
+  | "phase_start" ->
+      let* round = int "round" in
+      let* phase = int "phase" in
+      let* preamble = Json.field_bool fields "preamble" in
+      Ok (Phase_start { round; phase; preamble })
+  | "seed_commit" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* owner = int "owner" in
+      Ok (Seed_commit { round; node; owner })
+  | "bcast" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* uid = int "uid" in
+      Ok (Bcast { round; node; uid })
+  | "recv" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* src = int "src" in
+      let* uid = int "uid" in
+      Ok (Recv { round; node; src; uid })
+  | "ack" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* uid = int "uid" in
+      let* latency = int "latency" in
+      Ok (Ack { round; node; uid; latency })
+  | "progress" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* latency = int "latency" in
+      Ok (Progress { round; node; latency })
+  | "mark" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* label = Json.field_str fields "label" in
+      Ok (Mark { round; node; label })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)

@@ -1,0 +1,153 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type value =
+  | Int of int
+  | Bool of bool
+  | Str of string
+
+exception Parse of string
+
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | Some c' -> fail "expected '%c' at %d, found '%c'" c !pos c'
+    | None -> fail "expected '%c' at %d, found end of input" c !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = line.[!pos] in
+      incr pos;
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          (if !pos >= n then fail "dangling escape";
+           let e = line.[!pos] in
+           incr pos;
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'u' ->
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub line !pos 4 in
+               pos := !pos + 4;
+               (match int_of_string_opt ("0x" ^ hex) with
+               | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+               | Some _ -> fail "non-ASCII \\u escape unsupported"
+               | None -> fail "malformed \\u escape %S" hex)
+           | e -> fail "unknown escape '\\%c'" e);
+          go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_keyword kw v =
+    if !pos + String.length kw <= n && String.sub line !pos (String.length kw) = kw
+    then begin
+      pos := !pos + String.length kw;
+      v
+    end
+    else fail "malformed literal at %d" !pos
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while !pos < n && (match line.[!pos] with '0' .. '9' -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos < n && (line.[!pos] = '.' || line.[!pos] = 'e' || line.[!pos] = 'E')
+    then fail "floats are not part of the event vocabulary (at %d)" start;
+    match int_of_string_opt (String.sub line start (!pos - start)) with
+    | Some v -> Int v
+    | None -> fail "malformed number at %d" start
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> parse_keyword "true" (Bool true)
+    | Some 'f' -> parse_keyword "false" (Bool false)
+    | Some ('-' | '0' .. '9') -> parse_int ()
+    | Some c -> fail "unsupported value starting with '%c' at %d" c !pos
+    | None -> fail "expected a value at %d, found end of input" !pos
+  in
+  try
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    (match peek () with
+    | Some '}' -> incr pos
+    | _ ->
+        let rec members () =
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; skip_ws (); members ()
+          | Some '}' -> incr pos
+          | Some c -> fail "expected ',' or '}' at %d, found '%c'" !pos c
+          | None -> fail "unterminated object"
+        in
+        members ());
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at %d" !pos;
+    Ok (List.rev !fields)
+  with Parse reason -> Error reason
+
+let field fields key =
+  match List.assoc_opt key fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let field_int fields key =
+  match field fields key with
+  | Ok (Int v) -> Ok v
+  | Ok _ -> Error (Printf.sprintf "field %S is not an integer" key)
+  | Error e -> Error e
+
+let field_bool fields key =
+  match field fields key with
+  | Ok (Bool v) -> Ok v
+  | Ok _ -> Error (Printf.sprintf "field %S is not a boolean" key)
+  | Error e -> Error e
+
+let field_str fields key =
+  match field fields key with
+  | Ok (Str v) -> Ok v
+  | Ok _ -> Error (Printf.sprintf "field %S is not a string" key)
+  | Error e -> Error e

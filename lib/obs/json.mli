@@ -1,0 +1,39 @@
+(** Minimal JSON helpers for the observability layer.
+
+    The sink exports events as JSONL (one flat JSON object per line) and
+    the metrics registry dumps snapshot artifacts; both need only string
+    escaping plus a parser for {e flat} objects — string keys mapping to
+    integers, booleans or strings, no nesting.  Keeping this in-tree
+    avoids a JSON dependency and gives every writer in the repository
+    (including [bench/micro.ml]'s [BENCH_micro.json]) one shared, correct
+    escaping implementation. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes in JSON output:
+    double quotes, backslashes and all control characters below [0x20]
+    are escaped (newline, tab and carriage return symbolically, the rest
+    as [\uXXXX]).  Other bytes pass through unchanged. *)
+
+type value =
+  | Int of int
+  | Bool of bool
+  | Str of string
+      (** The value vocabulary of a flat event object.  Floats never
+          appear in the event stream (rounds, node ids and latencies are
+          integral), so the parser stays exact. *)
+
+val parse_flat : string -> ((string * value) list, string) result
+(** Parse one flat JSON object — string keys mapping to values
+    restricted to integers, booleans and strings — into its fields in
+    order of appearance.  Returns [Error reason] on malformed input,
+    nested structures, or trailing garbage.  Inverse of the object
+    serialization used by {!Event.to_json}. *)
+
+val field_int : (string * value) list -> string -> (int, string) result
+(** Look up a required integer field. *)
+
+val field_bool : (string * value) list -> string -> (bool, string) result
+(** Look up a required boolean field. *)
+
+val field_str : (string * value) list -> string -> (string, string) result
+(** Look up a required string field. *)

@@ -1,0 +1,212 @@
+type counter = { mutable count : int }
+
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable nodes : int array;  (** -1 = unattributed *)
+  mutable values : float array;
+  mutable len : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order_rev : string list;  (** creation order, reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order_rev = [] }
+
+let register t name make describe =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.tbl name m;
+      t.order_rev <- name :: t.order_rev;
+      ignore describe;
+      m
+
+let counter t name =
+  match register t name (fun () -> Counter { count = 0 }) "counter" with
+  | Counter c -> c
+  | Gauge _ | Histogram _ ->
+      invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+
+let incr ?(by = 1) c = c.count <- c.count + by
+
+let counter_value c = c.count
+
+let gauge t name =
+  match register t name (fun () -> Gauge { value = 0.0 }) "gauge" with
+  | Gauge g -> g
+  | Counter _ | Histogram _ ->
+      invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+
+let set g v = g.value <- v
+
+let gauge_value g = g.value
+
+let histogram t name =
+  match
+    register t name
+      (fun () -> Histogram { nodes = [||]; values = [||]; len = 0 })
+      "histogram"
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+
+let observe ?(node = -1) h v =
+  let cap = Array.length h.values in
+  if h.len = cap then begin
+    let fresh_cap = max 64 (2 * cap) in
+    let values = Array.make fresh_cap 0.0 in
+    let nodes = Array.make fresh_cap (-1) in
+    Array.blit h.values 0 values 0 h.len;
+    Array.blit h.nodes 0 nodes 0 h.len;
+    h.values <- values;
+    h.nodes <- nodes
+  end;
+  h.values.(h.len) <- v;
+  h.nodes.(h.len) <- node;
+  h.len <- h.len + 1
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary_of_samples samples =
+  let n = Array.length samples in
+  if n = 0 then None
+  else begin
+    Array.sort compare samples;
+    (* nearest-rank: the ⌈q·n⌉-th smallest sample *)
+    let pct q =
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      samples.(max 0 (min (n - 1) (rank - 1)))
+    in
+    let sum = Array.fold_left ( +. ) 0.0 samples in
+    Some
+      {
+        count = n;
+        sum;
+        min = samples.(0);
+        max = samples.(n - 1);
+        mean = sum /. float_of_int n;
+        p50 = pct 0.50;
+        p90 = pct 0.90;
+        p99 = pct 0.99;
+      }
+  end
+
+let summary h = summary_of_samples (Array.sub h.values 0 h.len)
+
+let by_node h =
+  let per_node = Hashtbl.create 16 in
+  for i = 0 to h.len - 1 do
+    let node = h.nodes.(i) in
+    if node >= 0 then begin
+      let samples =
+        match Hashtbl.find_opt per_node node with
+        | Some l -> l
+        | None -> ref []
+      in
+      samples := h.values.(i) :: !samples;
+      Hashtbl.replace per_node node samples
+    end
+  done;
+  Hashtbl.fold
+    (fun node samples acc ->
+      match summary_of_samples (Array.of_list !samples) with
+      | Some s -> (node, s) :: acc
+      | None -> acc)
+    per_node []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type snapshot = {
+  label : string;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * summary option) list;
+}
+
+let snapshot ~label t =
+  let names = List.rev t.order_rev in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter c -> counters := (name, c.count) :: !counters
+      | Gauge g -> gauges := (name, g.value) :: !gauges
+      | Histogram h -> histograms := (name, summary h) :: !histograms)
+    names;
+  {
+    label;
+    counters = List.rev !counters;
+    gauges = List.rev !gauges;
+    histograms = List.rev !histograms;
+  }
+
+let float_json v =
+  if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
+
+let snapshot_to_json s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf {|{"label":"%s"|} (Json.escape s.label));
+  let obj name fields =
+    Buffer.add_string buf (Printf.sprintf {|,"%s":{|} name);
+    List.iteri
+      (fun i field ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf field)
+      fields;
+    Buffer.add_char buf '}'
+  in
+  obj "counters"
+    (List.map
+       (fun (name, v) -> Printf.sprintf {|"%s":%d|} (Json.escape name) v)
+       s.counters);
+  obj "gauges"
+    (List.map
+       (fun (name, v) ->
+         Printf.sprintf {|"%s":%s|} (Json.escape name) (float_json v))
+       s.gauges);
+  obj "histograms"
+    (List.map
+       (fun (name, summary) ->
+         match summary with
+         | None -> Printf.sprintf {|"%s":null|} (Json.escape name)
+         | Some s ->
+             Printf.sprintf
+               {|"%s":{"count":%d,"sum":%s,"min":%s,"max":%s,"mean":%s,"p50":%s,"p90":%s,"p99":%s}|}
+               (Json.escape name) s.count (float_json s.sum) (float_json s.min)
+               (float_json s.max) (float_json s.mean) (float_json s.p50)
+               (float_json s.p90) (float_json s.p99))
+       s.histograms);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write_json ~path ?(git_rev = "unknown") snapshots =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"git_rev\": \"%s\",\n  \"snapshots\": [\n"
+        (Json.escape git_rev);
+      List.iteri
+        (fun i s ->
+          Printf.fprintf oc "    %s%s\n" (snapshot_to_json s)
+            (if i = List.length snapshots - 1 then "" else ","))
+        snapshots;
+      Printf.fprintf oc "  ]\n}\n")

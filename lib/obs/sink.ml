@@ -1,0 +1,77 @@
+type t = {
+  mutable buf : Event.t array;  (** [[||]] until the first emit *)
+  cap : int;
+  mutable total : int;
+  mutable consumers : (Event.t -> unit) list;  (** registration order *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Sink.create: capacity must be >= 1";
+  { buf = [||]; cap = capacity; total = 0; consumers = [] }
+
+let capacity t = t.cap
+
+let emit t ev =
+  (* The ring is allocated on first use so that merely creating sinks
+     (e.g. a disabled-by-default config object) costs nothing. *)
+  if Array.length t.buf = 0 then t.buf <- Array.make t.cap ev
+  else t.buf.(t.total mod t.cap) <- ev;
+  t.total <- t.total + 1;
+  List.iter (fun f -> f ev) t.consumers
+
+let on_event t f = t.consumers <- t.consumers @ [ f ]
+
+let emitted t = t.total
+
+let length t = min t.total t.cap
+
+let dropped t = t.total - length t
+
+let get t i =
+  let len = length t in
+  if i < 0 || i >= len then invalid_arg "Sink.get: index out of range";
+  t.buf.((t.total - len + i) mod t.cap)
+
+let iter t f =
+  let len = length t in
+  let start = t.total - len in
+  for i = start to t.total - 1 do
+    f t.buf.(i mod t.cap)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun ev -> acc := f !acc ev);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc ev -> ev :: acc))
+
+let clear t =
+  t.buf <- [||];
+  t.total <- 0
+
+let write_jsonl t oc =
+  iter t (fun ev ->
+      output_string oc (Event.to_json ev);
+      output_char oc '\n')
+
+let save_jsonl t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_jsonl t oc)
+
+let read_jsonl ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | "" -> go (lineno + 1) acc
+    | line -> (
+        match Event.of_json_line line with
+        | Ok ev -> go (lineno + 1) (ev :: acc)
+        | Error reason ->
+            Error (Printf.sprintf "line %d: %s" lineno reason))
+  in
+  go 1 []
+
+let load_jsonl ~path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_jsonl ic)

@@ -28,8 +28,8 @@ let unreliable_incidence dual =
    collision) scratch, so a round costs O(T·Δ' + n) for T transmitters
    instead of the listener-centric O(n·Δ').  The scratch arrays and the
    activation buffer never escape, so they are allocated once per run. *)
-let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop ()
-    =
+let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
+    ?sink () =
   let n = Dual.n dual in
   if Array.length nodes <> n then
     invalid_arg "Engine.run: node array size differs from vertex count";
@@ -67,6 +67,13 @@ let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop (
   let round = ref 0 in
   while !continue && !round < rounds do
     let t = !round in
+    (* Event emission is gated on the sink's presence per site, never per
+       element: the disabled path executes exactly the PR 2 loop (the
+       property suite asserts bit-identical traces, the micro-benchmarks
+       a <= 2% regression budget). *)
+    (match sink with
+    | None -> ()
+    | Some s -> Obs.Sink.emit s (Obs.Event.Round_start { round = t }));
     (* Step 1 + 2: inputs, then transmit/listen decisions. *)
     let inputs, actions, transmitting, delivered, outputs =
       match !buffers with
@@ -132,6 +139,32 @@ let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop (
             if Bytes.unsafe_get collided u = '\001' then None
             else Array.unsafe_get heard u)
     done;
+    (* Structural events: one Transmit per transmitter, one
+       Deliver/Collision per affected listener.  Read the per-listener
+       scratch before it is reset below. *)
+    let deliveries = ref 0 and collisions = ref 0 in
+    (match sink with
+    | None -> ()
+    | Some s ->
+        for i = 0 to !tcount - 1 do
+          Obs.Sink.emit s
+            (Obs.Event.Transmit
+               { round = t; node = Array.unsafe_get transmitters i })
+        done;
+        if !tcount > 0 then
+          for u = 0 to n - 1 do
+            match actions.(u) with
+            | Process.Transmit _ -> ()
+            | Process.Listen ->
+                if Bytes.unsafe_get collided u = '\001' then begin
+                  incr collisions;
+                  Obs.Sink.emit s (Obs.Event.Collision { round = t; node = u })
+                end
+                else if delivered.(u) <> None then begin
+                  incr deliveries;
+                  Obs.Sink.emit s (Obs.Event.Deliver { round = t; node = u })
+                end
+          done);
     if !tcount > 0 then begin
       Array.fill heard 0 n None;
       Bytes.fill collided 0 n '\000'
@@ -148,19 +181,35 @@ let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop (
       (match observer with Some f -> f record | None -> ());
       match stop with Some p when p record -> continue := false | _ -> ()
     end;
+    (* Round_end comes after the observer so that protocol-level events a
+       translating observer emits (Localcast.Lb_obs) land inside the
+       round's bracket. *)
+    (match sink with
+    | None -> ()
+    | Some s ->
+        Obs.Sink.emit s
+          (Obs.Event.Round_end
+             {
+               round = t;
+               transmitters = !tcount;
+               deliveries = !deliveries;
+               collisions = !collisions;
+             }));
     incr executed;
     incr round
   done;
   !executed
 
-let run ?observer ?stop ?incidence ~dual ~scheduler ~nodes ~env ~rounds () =
+let run ?observer ?stop ?incidence ?sink ~dual ~scheduler ~nodes ~env ~rounds ()
+    =
   let fill_active ~round ~transmitting:_ buf =
     Scheduler.fill_active scheduler ~round buf
   in
-  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop ()
+  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
+    ?sink ()
 
-let run_adaptive ?observer ?stop ?incidence ~dual ~adversary ~nodes ~env ~rounds
-    () =
+let run_adaptive ?observer ?stop ?incidence ?sink ~dual ~adversary ~nodes ~env
+    ~rounds () =
   let fill_active ~round ~transmitting buf =
     for edge = 0 to Bytes.length buf - 1 do
       Bytes.unsafe_set buf edge
@@ -168,7 +217,8 @@ let run_adaptive ?observer ?stop ?incidence ~dual ~adversary ~nodes ~env ~rounds
          else '\000')
     done
   in
-  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop ()
+  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
+    ?sink ()
 
 (* The retained listener-centric resolver: for every listener, scan its
    topology neighborhood and apply the collision rule, querying the

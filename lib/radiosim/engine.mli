@@ -39,6 +39,7 @@ val run :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
   ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
   ?incidence:incidence ->
+  ?sink:Obs.Sink.t ->
   dual:Dualgraph.Dual.t ->
   scheduler:Scheduler.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -52,12 +53,22 @@ val run :
     returns [true].  [incidence] must come from {!unreliable_incidence}
     on the same [dual] (it is fetched from the dual when absent).  Raises
     [Invalid_argument] if the node array size differs from the graph's
-    vertex count. *)
+    vertex count.
+
+    [sink], when given, receives the structural event stream of the run
+    (per round: [Round_start], one [Transmit] per transmitter, one
+    [Deliver] or [Collision] per affected listener, then — after the
+    observer, so a translating observer's protocol events nest inside
+    the round — [Round_end] with the round's aggregate counts).  When
+    absent, no event code runs at all: the execution path, allocation
+    behavior and produced traces are exactly those of the
+    uninstrumented engine. *)
 
 val run_adaptive :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
   ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
   ?incidence:incidence ->
+  ?sink:Obs.Sink.t ->
   dual:Dualgraph.Dual.t ->
   adversary:Adaptive.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -69,9 +80,9 @@ val run_adaptive :
     {!Adaptive} adversary that sees the round's transmission vector —
     the model variant under which the paper's predecessor work proves
     efficient progress impossible.  The adversary is consulted once per
-    (round, edge) while the activation buffer is filled.  Kept separate
-    from {!run} so that a type of scheduler can never silently escalate
-    into the stronger adversary. *)
+    (round, edge) while the activation buffer is filled.  [sink] behaves
+    as in {!run}.  Kept separate from {!run} so that a type of scheduler
+    can never silently escalate into the stronger adversary. *)
 
 val run_reference :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
@@ -88,7 +99,8 @@ val run_reference :
     O(n·Δ') per round.  Same observable semantics as {!run} (the
     property suite asserts bit-identical traces on random
     configurations); kept as the executable reference for tests and as
-    the micro-benchmark baseline.  Not for production use. *)
+    the micro-benchmark baseline.  Deliberately takes no event sink:
+    the reference semantics stay frozen.  Not for production use. *)
 
 val transmitter_counts :
   ?incidence:incidence ->

@@ -22,6 +22,7 @@ let () =
       ("mac-spec", Test_macspec.suite);
       ("gossip-baseline", Test_gossip.suite);
       ("service", Test_service.suite);
+      ("observability", Test_obs.suite);
       ("printers", Test_printers.suite);
       ("stats", Test_stats.suite);
     ]
