@@ -19,7 +19,7 @@
      obs     observability layer: event stream, metrics artifact, and the
              online auditor cross-checked against Lb_spec (writes
              BENCH_obs.json and BENCH_obs_events.jsonl)
-     micro   Bechamel micro-benchmarks M1-M6 (also writes BENCH_micro.json)
+     micro   Bechamel micro-benchmarks M1-M8 (also writes BENCH_micro.json)
 
    Usage:
      dune exec bench/main.exe                # everything, full trials

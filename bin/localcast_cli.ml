@@ -62,12 +62,25 @@ let scheduler_arg =
   Arg.(
     value
     & opt (enum [ ("reliable-only", `Reliable); ("all-edges", `All);
-                  ("bernoulli", `Bernoulli); ("flicker", `Flicker) ])
+                  ("bernoulli", `Bernoulli);
+                  ("bernoulli-sparse", `BernoulliSparse);
+                  ("flicker", `Flicker) ])
         `Bernoulli
     & info [ "scheduler" ] ~docv:"KIND"
         ~doc:
-          "Oblivious link scheduler: reliable-only, all-edges, bernoulli or \
-           flicker.")
+          "Oblivious link scheduler: reliable-only, all-edges, bernoulli, \
+           bernoulli-sparse (same distribution as bernoulli, resolved in \
+           time proportional to the active set — the right choice for low \
+           --link-p sweeps on large fields) or flicker.")
+
+let link_p_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "link-p" ] ~docv:"P"
+        ~doc:
+          "Per-round inclusion probability of each unreliable edge under the \
+           bernoulli and bernoulli-sparse schedulers (ignored by the \
+           others).")
 
 let phases_arg =
   Arg.(
@@ -96,11 +109,12 @@ let make_topology ?load kind ~seed ~n ~width ~r ~gray =
   | `Line -> Geo.line ~n ~spacing:0.9 ~r ()
   | `Gray -> Geo.gray_cluster ~k:(max 1 (n - 2)) ~r:(Float.max r 1.41) ()
 
-let make_scheduler kind ~seed =
+let make_scheduler kind ~seed ~p =
   match kind with
   | `Reliable -> Sch.reliable_only
   | `All -> Sch.all_edges
-  | `Bernoulli -> Sch.bernoulli ~seed ~p:0.5
+  | `Bernoulli -> Sch.bernoulli ~seed ~p
+  | `BernoulliSparse -> Sch.bernoulli_sparse ~seed ~p
   | `Flicker -> Sch.flicker ~period:16 ~duty:8
 
 (* --- topo --- *)
@@ -224,8 +238,8 @@ let run_cmd =
             "Run the online spec auditor over the event stream and report \
              t_ack / t_prog deadline misses and delta-bound breaches.")
   in
-  let run topology scheduler seed n width r gray eps phases senders tack load
-      events metrics_path audit =
+  let run topology scheduler link_p seed n width r gray eps phases senders tack
+      load events metrics_path audit =
     let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
     let n = Dual.n dual in
     Format.printf "%a@." Dual.pp dual;
@@ -269,8 +283,8 @@ let run_cmd =
     in
     let executed, secs =
       Stats.Experiment.time (fun () ->
-          Radiosim.Engine.run ~observer ?sink ~dual
-            ~scheduler:(make_scheduler scheduler ~seed)
+          Radiosim.Engine.run ~observer ?sink ?metrics:registry ~dual
+            ~scheduler:(make_scheduler scheduler ~seed ~p:link_p)
             ~nodes ~env:(L.Lb_env.env envt) ~rounds ())
     in
     let report = L.Lb_spec.finish monitor in
@@ -321,9 +335,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run the LBAlg local broadcast service.")
     Term.(
-      const run $ topology_arg $ scheduler_arg $ seed_arg $ n_arg $ width_arg
-      $ r_arg $ gray_arg $ eps_arg $ phases_arg $ senders_arg $ tack_arg
-      $ load_arg $ events_arg $ metrics_arg $ audit_arg)
+      const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
+      $ width_arg $ r_arg $ gray_arg $ eps_arg $ phases_arg $ senders_arg
+      $ tack_arg $ load_arg $ events_arg $ metrics_arg $ audit_arg)
 
 (* --- flood --- *)
 
@@ -331,7 +345,7 @@ let flood_cmd =
   let source_arg =
     Arg.(value & opt int 0 & info [ "source" ] ~docv:"ID" ~doc:"Flood source.")
   in
-  let run topology scheduler seed n width r gray eps source load =
+  let run topology scheduler link_p seed n width r gray eps source load =
     let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
     Format.printf "%a@." Dual.pp dual;
     let params = L.Params.of_dual ~eps1:eps ~tack_phases:3 dual in
@@ -339,7 +353,7 @@ let flood_cmd =
       Macapps.Flood.run ~params
         ~rng:(Prng.Rng.of_int (seed + 1))
         ~dual
-        ~scheduler:(make_scheduler scheduler ~seed)
+        ~scheduler:(make_scheduler scheduler ~seed ~p:link_p)
         ~source
         ~max_rounds:(200 * Dual.n dual * params.L.Params.phase_len)
         ()
@@ -355,8 +369,8 @@ let flood_cmd =
   Cmd.v
     (Cmd.info "flood" ~doc:"Flood a message over the abstract MAC layer.")
     Term.(
-      const run $ topology_arg $ scheduler_arg $ seed_arg $ n_arg $ width_arg
-      $ r_arg $ gray_arg $ eps_arg $ source_arg $ load_arg)
+      const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
+      $ width_arg $ r_arg $ gray_arg $ eps_arg $ source_arg $ load_arg)
 
 (* --- trace --- *)
 
@@ -448,7 +462,7 @@ let trace_cmd =
 (* --- verify --- *)
 
 let verify_cmd =
-  let run topology scheduler seed n width r gray eps load =
+  let run topology scheduler link_p seed n width r gray eps load =
     let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
     let params = L.Params.of_dual ~eps1:eps ~tack_phases:3 dual in
     Format.printf "%a@." Dual.pp dual;
@@ -460,7 +474,7 @@ let verify_cmd =
     in
     let outcome =
       L.Service.run
-        ~scheduler:(make_scheduler scheduler ~seed)
+        ~scheduler:(make_scheduler scheduler ~seed ~p:link_p)
         ~dual ~params ~senders ~phases:6 ~seed ()
     in
     let report = outcome.L.Service.report in
@@ -486,7 +500,7 @@ let verify_cmd =
     let trace, observer = Radiosim.Trace.recorder () in
     let (_ : int) =
       Radiosim.Engine.run ~observer ~dual
-        ~scheduler:(make_scheduler scheduler ~seed)
+        ~scheduler:(make_scheduler scheduler ~seed ~p:link_p)
         ~nodes
         ~env:(Radiosim.Env.null ~name:"verify" ())
         ~rounds:(L.Seed_alg.duration seed_params)
@@ -519,8 +533,8 @@ let verify_cmd =
          "Run the service on a topology and exit non-zero unless every \
           specification check passes (CI-style).")
     Term.(
-      const run $ topology_arg $ scheduler_arg $ seed_arg $ n_arg $ width_arg
-      $ r_arg $ gray_arg $ eps_arg $ load_arg)
+      const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
+      $ width_arg $ r_arg $ gray_arg $ eps_arg $ load_arg)
 
 let () =
   let doc = "Local broadcast layer for unreliable (dual graph) radio networks" in

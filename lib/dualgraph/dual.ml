@@ -20,9 +20,9 @@ type t = {
    (a) every pair at distance <= 1 is a G-edge, and
    (b) every G'-edge spans distance <= r.
    Condition (b) is a linear scan of E'.  Condition (a) needs candidate
-   pairs at distance <= 1; instead of the O(n²) all-pairs scan we bucket
-   the embedding into a unit grid and compare each vertex only against
-   the 3×3 neighborhood of its cell — O(n · local density), which keeps
+   pairs at distance <= 1; instead of the O(n²) all-pairs scan a
+   unit-cell Grid compares each vertex only against the 3×3
+   neighborhood of its cell — O(n · local density), which keeps
    [create] usable at n >= 10^4. *)
 let check_r_geographic emb r g g' =
   let n = Embedding.n emb in
@@ -36,59 +36,68 @@ let check_r_geographic emb r g g' =
   in
   edges_ok
   && begin
-       let cell v =
-         let p = Embedding.point emb v in
-         ( int_of_float (Float.floor p.Embedding.x),
-           int_of_float (Float.floor p.Embedding.y) )
-       in
-       let buckets : (int * int, int list) Hashtbl.t = Hashtbl.create (max 16 n) in
-       for v = n - 1 downto 0 do
-         let c = cell v in
-         Hashtbl.replace buckets c
-           (v :: (Option.value ~default:[] (Hashtbl.find_opt buckets c)))
-       done;
+       let grid = Grid.create ~cell:1.0 emb in
        let ok = ref true in
        for u = 0 to n - 1 do
-         let cx, cy = cell u in
-         for dx = -1 to 1 do
-           for dy = -1 to 1 do
-             match Hashtbl.find_opt buckets (cx + dx, cy + dy) with
-             | None -> ()
-             | Some vs ->
-                 List.iter
-                   (fun v ->
-                     if
-                       v > u
-                       && Embedding.vertex_distance emb u v <= 1.0
-                       && not (Graph.mem_edge g u v)
-                     then ok := false)
-                   vs
-           done
-         done
+         Grid.iter_neighborhood grid u (fun v ->
+             if
+               v > u
+               && Embedding.vertex_distance emb u v <= 1.0
+               && not (Graph.mem_edge g u v)
+             then ok := false)
        done;
        !ok
      end
 
-let create ?embedding ?(r = 1.0) ~g ~g' () =
+(* One two-pointer merge per vertex over the sorted CSR slices of G and
+   G' both verifies E ⊆ E' and enumerates E' \ E in lexicographic
+   order — linear in |E| + |E'|, no per-edge binary searches or list
+   churn.  [emit] sees each unreliable edge (u, v), u < v, in the order
+   the [unreliable] array indexes them (the edge ids schedulers see). *)
+let subset_and_diff ~g ~g' emit =
+  let n = Graph.n g in
+  let goff = Graph.csr_offsets g and gadj = Graph.csr_neighbors g in
+  let g'off = Graph.csr_offsets g' and g'adj = Graph.csr_neighbors g' in
+  let subset = ref true in
+  let m = ref 0 in
+  for u = 0 to n - 1 do
+    let i = ref goff.(u) in
+    let iend = goff.(u + 1) in
+    for j = g'off.(u) to g'off.(u + 1) - 1 do
+      let v = Array.unsafe_get g'adj j in
+      while !i < iend && Array.unsafe_get gadj !i < v do
+        (* a G-neighbor absent from the G' slice *)
+        subset := false;
+        incr i
+      done;
+      if !i < iend && Array.unsafe_get gadj !i = v then incr i
+      else if v > u then begin
+        emit u v !m;
+        incr m
+      end
+    done;
+    if !i < iend then subset := false
+  done;
+  (!subset, !m)
+
+let create ?embedding ?(r = 1.0) ?(validate = true) ~g ~g' () =
   if Graph.n g <> Graph.n g' then
     invalid_arg "Dual.create: vertex count mismatch between G and G'";
-  if not (Graph.is_subgraph g g') then
-    invalid_arg "Dual.create: E is not a subset of E'";
   if r < 1.0 then invalid_arg "Dual.create: r must be >= 1";
   (match embedding with
   | None -> ()
   | Some emb ->
       if Embedding.n emb <> Graph.n g then
         invalid_arg "Dual.create: embedding size mismatch";
-      if not (check_r_geographic emb r g g') then
+      if validate && not (check_r_geographic emb r g g') then
         invalid_arg "Dual.create: embedding violates the r-geographic property");
   let n = Graph.n g in
-  let unreliable =
-    Graph.edges g'
-    |> List.filter (fun (u, v) -> not (Graph.mem_edge g u v))
-    |> Array.of_list
+  let subset, m = subset_and_diff ~g ~g' (fun _ _ _ -> ()) in
+  if not subset then invalid_arg "Dual.create: E is not a subset of E'";
+  let unreliable = Array.make m (0, 0) in
+  let (_ : bool * int) =
+    subset_and_diff ~g ~g' (fun u v k -> unreliable.(k) <- (u, v))
   in
-  let m = Array.length unreliable in
   let inc_off = Array.make (n + 1) 0 in
   Array.iter
     (fun (u, v) ->

@@ -7,13 +7,24 @@
 
 type t
 
-val create : ?embedding:Embedding.t -> ?r:float -> g:Graph.t -> g':Graph.t -> unit -> t
+val create :
+  ?embedding:Embedding.t ->
+  ?r:float ->
+  ?validate:bool ->
+  g:Graph.t ->
+  g':Graph.t ->
+  unit ->
+  t
 (** Builds a dual graph.  Raises [Invalid_argument] if the vertex sets
-    differ or [E ⊈ E'].  If [embedding] is given, [r] defaults to [1.0]
-    and the r-geographic conditions are {e checked} (raises on
-    violation).  The check buckets the embedding into a unit grid, so it
-    costs O(|E'| + n · local density) rather than O(n²) — dual graphs
-    with n >= 10^4 vertices validate in milliseconds. *)
+    differ or [E ⊈ E'] (the subset check is a free byproduct of the
+    [E' \ E] enumeration and always runs).  If [embedding] is given, [r]
+    defaults to [1.0] and the r-geographic conditions are {e checked}
+    (raises on violation).  The check walks a unit-cell {!Grid}, so it
+    costs O(|E'| + n · local density) rather than O(n²).
+    [~validate:false] skips that geometric check; it is meant for
+    callers that guarantee the property by construction (the
+    {!Geometric} generators, whose scan already classified every pair —
+    {!is_r_geographic} can always re-check after the fact). *)
 
 val g : t -> Graph.t
 (** The reliable graph G. *)

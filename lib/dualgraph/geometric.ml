@@ -1,7 +1,23 @@
+(* Candidate pairs at distance <= r are found with a uniform grid of
+   cell size max(r, 1) (see Grid): each point is compared only against
+   the 3x3 neighborhood of its cell — O(n · local density) instead of
+   the all-pairs O(n²) scan, which is what keeps generation usable at
+   n >= 10^4 (the same grid backs Dual.create's r-geographic check).
+   Edges accumulate into flat int arrays in lexicographic order, so the
+   graphs build through Graph.of_sorted_arrays with no re-sort, dedup,
+   or per-edge boxing.
+
+   Reproducibility note: the grey-zone draws must consume the rng in
+   exactly the order the historical all-pairs loop did — pairs (u, v)
+   in lexicographic order, one gray_g' draw per candidate and a nested
+   gray_g draw on success — or every seeded topology in the test suite
+   and EXPERIMENTS.md shifts.  The grid scan visits each u's candidates
+   as a concatenation of ascending per-cell runs; sorting them (an
+   insertion sort, near-linear on such input) before any classification
+   restores exactly that order. *)
 let build_from_points ?rng ~r ~gray_g' ~gray_g points =
   let n = Array.length points in
   let emb = Embedding.create points in
-  let reliable = ref [] and all = ref [] in
   let gray_draw p =
     match rng with
     | Some rng -> Prng.Rng.bernoulli rng p
@@ -10,24 +26,79 @@ let build_from_points ?rng ~r ~gray_g' ~gray_g points =
         else if p <= 0.0 then false
         else invalid_arg "Geometric: fractional grey-zone probability requires ~rng"
   in
+  let grid = Grid.create ~cell:(Float.max r 1.0) emb in
+  (* Unboxed coordinate arrays: the scan's distance evaluations read
+     these flat float arrays instead of chasing boxed point records. *)
+  let xs = Array.make (max n 1) 0.0 and ys = Array.make (max n 1) 0.0 in
+  for v = 0 to n - 1 do
+    let p = points.(v) in
+    xs.(v) <- p.Embedding.x;
+    ys.(v) <- p.Embedding.y
+  done;
+  (* Growable (u, v) accumulators for the reliable and full edge sets. *)
+  let ru = ref (Array.make 64 0) and rv = ref (Array.make 64 0) in
+  let rlen = ref 0 in
+  let au = ref (Array.make 64 0) and av = ref (Array.make 64 0) in
+  let alen = ref 0 in
+  let push bu bv blen u v =
+    let cap = Array.length !bu in
+    if !blen = cap then begin
+      let nu = Array.make (2 * cap) 0 and nv = Array.make (2 * cap) 0 in
+      Array.blit !bu 0 nu 0 cap;
+      Array.blit !bv 0 nv 0 cap;
+      bu := nu;
+      bv := nv
+    end;
+    !bu.(!blen) <- u;
+    !bv.(!blen) <- v;
+    incr blen
+  in
+  (* Candidates carry their classification in the low bit (1 = grey
+     zone, 0 = reliable), so each pair's distance is evaluated exactly
+     once and the sort on the packed value still orders by v. *)
+  let cand = Array.make (max n 1) 0 in
   for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      let d = Embedding.vertex_distance emb u v in
-      if d <= 1.0 then begin
-        reliable := (u, v) :: !reliable;
-        all := (u, v) :: !all
+    let k = ref 0 in
+    let ux = Array.unsafe_get xs u and uy = Array.unsafe_get ys u in
+    Grid.iter_neighborhood grid u (fun v ->
+        if v > u then begin
+          let dx = Array.unsafe_get xs v -. ux
+          and dy = Array.unsafe_get ys v -. uy in
+          let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+          if d <= r then begin
+            cand.(!k) <- (v lsl 1) lor (if d <= 1.0 then 0 else 1);
+            incr k
+          end
+        end);
+    for i = 1 to !k - 1 do
+      let x = cand.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && cand.(!j) > x do
+        cand.(!j + 1) <- cand.(!j);
+        decr j
+      done;
+      cand.(!j + 1) <- x
+    done;
+    for i = 0 to !k - 1 do
+      let packed = cand.(i) in
+      let v = packed lsr 1 in
+      if packed land 1 = 0 then begin
+        push ru rv rlen u v;
+        push au av alen u v
       end
-      else if d <= r then begin
-        if gray_draw gray_g' then begin
-          all := (u, v) :: !all;
-          if gray_draw gray_g then reliable := (u, v) :: !reliable
-        end
+      else if gray_draw gray_g' then begin
+        push au av alen u v;
+        if gray_draw gray_g then push ru rv rlen u v
       end
     done
   done;
-  let g = Graph.create ~n ~edges:!reliable in
-  let g' = Graph.create ~n ~edges:!all in
-  Dual.create ~embedding:emb ~r ~g ~g' ()
+  let g = Graph.of_sorted_arrays ~n ~us:!ru ~vs:!rv ~len:!rlen in
+  let g' = Graph.of_sorted_arrays ~n ~us:!au ~vs:!av ~len:!alen in
+  (* ~validate:false: r-geographic holds by construction — G holds every
+     pair at distance <= 1 plus grey winners, and every G' edge spans
+     distance <= r (test_dualgraph re-checks via Dual.is_r_geographic
+     against a naive all-pairs reference). *)
+  Dual.create ~embedding:emb ~r ~validate:false ~g ~g' ()
 
 let random_field ~rng ~n ~width ~height ~r ?(gray_g' = 0.5) ?(gray_g = 0.0) () =
   if n < 0 then invalid_arg "Geometric.random_field: negative n";

@@ -44,36 +44,54 @@ let normalize_edges ~n ~who edges =
     Array.sub arr 0 !w
   end
 
-(* Build the CSR from a normalized (sorted, unique, lo < hi) edge array.
-   Filling in sorted edge order keeps every vertex slice sorted: all of
-   [u]'s smaller neighbors arrive while [u] plays the hi role (ordered by
-   lo), before any larger neighbor arrives with [u] as lo (ordered by
-   hi). *)
-let of_normalized ~n edges =
+(* Build the CSR from a normalized (sorted, unique, lo < hi) edge
+   sequence given as accessors.  Filling in sorted edge order keeps
+   every vertex slice sorted: all of [u]'s smaller neighbors arrive
+   while [u] plays the hi role (ordered by lo), before any larger
+   neighbor arrives with [u] as lo (ordered by hi). *)
+let build_csr ~n ~len ~u_at ~v_at =
   let deg = Array.make (n + 1) 0 in
-  Array.iter
-    (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    edges;
+  for i = 0 to len - 1 do
+    let u = u_at i and v = v_at i in
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  done;
   let offsets = Array.make (n + 1) 0 in
   for v = 0 to n - 1 do
     offsets.(v + 1) <- offsets.(v) + deg.(v)
   done;
   let adj = Array.make offsets.(n) 0 in
   let cursor = Array.sub offsets 0 n in
-  Array.iter
-    (fun (u, v) ->
-      adj.(cursor.(u)) <- v;
-      cursor.(u) <- cursor.(u) + 1;
-      adj.(cursor.(v)) <- u;
-      cursor.(v) <- cursor.(v) + 1)
-    edges;
+  for i = 0 to len - 1 do
+    let u = u_at i and v = v_at i in
+    adj.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1;
+    adj.(cursor.(v)) <- u;
+    cursor.(v) <- cursor.(v) + 1
+  done;
   { size = n; offsets; adj }
+
+let of_normalized ~n edges =
+  build_csr ~n ~len:(Array.length edges)
+    ~u_at:(fun i -> fst edges.(i))
+    ~v_at:(fun i -> snd edges.(i))
 
 let create ~n ~edges =
   if n < 0 then invalid_arg "Graph.create: negative vertex count";
   of_normalized ~n (normalize_edges ~n ~who:"Graph.create" edges)
+
+let of_sorted_arrays ~n ~us ~vs ~len =
+  if n < 0 then invalid_arg "Graph.of_sorted_arrays: negative vertex count";
+  if len < 0 || len > Array.length us || len > Array.length vs then
+    invalid_arg "Graph.of_sorted_arrays: length exceeds the arrays";
+  for i = 0 to len - 1 do
+    let u = us.(i) and v = vs.(i) in
+    if u < 0 || v >= n || u >= v then
+      invalid_arg "Graph.of_sorted_arrays: edges must satisfy 0 <= u < v < n";
+    if i > 0 && (us.(i - 1) > u || (us.(i - 1) = u && vs.(i - 1) >= v)) then
+      invalid_arg "Graph.of_sorted_arrays: edges must be strictly sorted"
+  done;
+  build_csr ~n ~len ~u_at:(Array.get us) ~v_at:(Array.get vs)
 
 let empty n = create ~n ~edges:[]
 

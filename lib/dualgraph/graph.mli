@@ -17,6 +17,14 @@ val create : n:int -> edges:(int * int) list -> t
 (** [create ~n ~edges] builds a graph with vertices [0..n-1].  Raises
     [Invalid_argument] on out-of-range endpoints or self-loops. *)
 
+val of_sorted_arrays : n:int -> us:int array -> vs:int array -> len:int -> t
+(** [of_sorted_arrays ~n ~us ~vs ~len] builds a graph from the first
+    [len] edges [(us.(i), vs.(i))], which must already be normalized
+    ([us.(i) < vs.(i)]) and strictly lexicographically sorted (hence
+    duplicate-free).  O(n + len) — the generator fast path that skips
+    {!create}'s re-sort and dedup.  Raises [Invalid_argument] if the
+    input violates any of those conditions. *)
+
 val empty : int -> t
 (** [empty n] has [n] vertices and no edges. *)
 

@@ -1,0 +1,23 @@
+(** Flat uniform spatial grid over an {!Embedding}, for neighbor-candidate
+    queries.
+
+    Both the geometric generators and [Dual.create]'s r-geographic
+    validator need "all vertices within distance [d] of [u]" candidate
+    sets.  This grid buckets the points into square cells of side
+    [cell] (CSR layout, counting sort — two O(n) passes, no hashing) so
+    a 3x3 cell neighborhood covers every candidate at distance [<= cell]
+    in O(local density) per query. *)
+
+type t
+
+val create : cell:float -> Embedding.t -> t
+(** [create ~cell emb] buckets the points of [emb] into square cells of
+    side [cell].  Raises [Invalid_argument] unless [cell > 0].  Within a
+    cell, vertex ids are stored in ascending order. *)
+
+val iter_neighborhood : t -> int -> (int -> unit) -> unit
+(** [iter_neighborhood t u f] applies [f] to every vertex in the 3x3
+    block of cells centered on [u]'s cell — a superset of all vertices
+    within distance [cell] of [u] ([u] itself included).  Each cell is
+    visited once and yields its ids in ascending order, so the full
+    visit sequence is a concatenation of at most 9 ascending runs. *)

@@ -85,5 +85,5 @@ let run ?observer ?stop ?sink ?metrics t ~scheduler ~rounds =
         in
         Some f
   in
-  Radiosim.Engine.run ?observer ?stop ?sink ~dual:t.dual ~scheduler
+  Radiosim.Engine.run ?observer ?stop ?sink ?metrics ~dual:t.dual ~scheduler
     ~nodes:t.nodes ~env:t.env ~rounds ()

@@ -46,7 +46,7 @@ let run ?scheduler ?seed_source ?observer ?sink ?metrics ~dual ~params ~senders
     match observer with Some f -> f record | None -> ()
   in
   let rounds_executed =
-    Engine.run ~observer:observe ?sink ~dual ~scheduler ~nodes
+    Engine.run ~observer:observe ?sink ?metrics ~dual ~scheduler ~nodes
       ~env:(Lb_env.env envt)
       ~rounds:(phases * params.Params.phase_len)
       ()
@@ -68,7 +68,7 @@ let one_shot ?scheduler ?sink ?metrics ~dual ~params ~sender ~seed () =
     match glue with Some g -> Lb_obs.observer g record | None -> ()
   in
   let rounds_executed =
-    Engine.run ~observer:observe ?sink ~dual ~scheduler ~nodes
+    Engine.run ~observer:observe ?sink ?metrics ~dual ~scheduler ~nodes
       ~env:(Lb_env.env envt)
       ~rounds:(Params.t_ack_rounds params)
       ()

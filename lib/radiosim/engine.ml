@@ -14,38 +14,61 @@ let unreliable_incidence dual =
   let inc_off, inc_nbr, inc_edge = Dual.unreliable_incidence_csr dual in
   { inc_off; inc_nbr; inc_edge }
 
-(* The shared round loop, resolved transmitter-centrically.
+(* The shared round loop, resolved transmitter-centrically over a
+   sparse activation set.
 
-   [fill_active] materializes the round's active unreliable-edge set into
-   the reusable byte buffer (one byte per unreliable edge) before any
-   reception is resolved; for oblivious schedulers it ignores the
-   transmission vector, for adaptive adversaries (Adaptive.t) it may
-   inspect it — either way each edge is resolved exactly once per round.
+   [fill_sparse] writes the round's active unreliable-edge {e indices}
+   into the reusable index buffer (ascending, one slot per active edge)
+   and returns their count, before any reception is resolved; for
+   oblivious schedulers it ignores the transmission vector, for adaptive
+   adversaries (Adaptive.t) it may inspect it.  [resolved_of count] is
+   the number of per-edge scheduler resolutions that fill performed
+   (= count for natively sparse schedulers, m for dense ones) — it only
+   feeds the [scheduler.edges_resolved] counter.
 
-   Reception then iterates only over the round's transmitters: each
-   transmitter pushes its message along its reliable CSR slice and its
-   active unreliable incident edges into per-listener (first-message,
-   collision) scratch, so a round costs O(T·Δ' + n) for T transmitters
-   instead of the listener-centric O(n·Δ').  The scratch arrays and the
-   activation buffer never escape, so they are allocated once per run. *)
-let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
-    ?sink () =
+   From the index list the loop builds the round's unreliable adjacency
+   {e for the active edges only} (intrusive per-node lists over
+   preallocated arrays, heads reset edge-by-edge after the round), so
+   per-round scheduler + topology cost is proportional to the active
+   set, not to m.  Reception then iterates only over the round's
+   transmitters: each transmitter pushes its message along its reliable
+   CSR slice and its active unreliable adjacency into per-listener
+   (first-message, collision) scratch — O(T·Δ + active + n) per round.
+   All scratch never escapes, so it is allocated once per run. *)
+let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
+    ?observer ?stop ?sink ?metrics () =
   let n = Dual.n dual in
   if Array.length nodes <> n then
     invalid_arg "Engine.run: node array size differs from vertex count";
   if rounds < 0 then invalid_arg "Engine.run: negative round count";
-  let inc =
-    match incidence with
-    | Some inc ->
-        if Array.length inc.inc_off <> n + 1 then
-          invalid_arg "Engine.run: incidence/graph mismatch";
-        inc
-    | None -> unreliable_incidence dual
-  in
+  (match incidence with
+  | Some inc ->
+      if Array.length inc.inc_off <> n + 1 then
+        invalid_arg "Engine.run: incidence/graph mismatch"
+  | None -> ());
   let g_off = Graph.csr_offsets (Dual.g dual) in
   let g_adj = Graph.csr_neighbors (Dual.g dual) in
   let m = Dual.unreliable_count dual in
-  let active = Bytes.create m in
+  (* Unreliable edge endpoints in flat form, plus the round's sparse
+     activation buffer and the intrusive per-round adjacency (slots 2k
+     and 2k+1 belong to the k-th active edge). *)
+  let eu = Array.make (max m 1) 0 and ev = Array.make (max m 1) 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      eu.(i) <- u;
+      ev.(i) <- v)
+    (Dual.unreliable_edges dual);
+  let sparse = Array.make (max m 1) 0 in
+  let adj_head = Array.make (max n 1) (-1) in
+  let adj_next = Array.make (max (2 * m) 1) 0 in
+  let adj_nbr = Array.make (max (2 * m) 1) 0 in
+  let ctr_active, ctr_resolved =
+    match metrics with
+    | None -> (None, None)
+    | Some reg ->
+        ( Some (Obs.Metrics.counter reg "engine.active_edges"),
+          Some (Obs.Metrics.counter reg "scheduler.edges_resolved") )
+  in
   (* Per-listener reception scratch, reset (when touched) every round. *)
   let heard = Array.make (max n 1) None in
   let collided = Bytes.make (max n 1) '\000' in
@@ -113,8 +136,28 @@ let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
         incr tcount
       end
     done;
+    let acount = ref 0 in
     if !tcount > 0 then begin
-      if m > 0 then fill_active ~round:t ~transmitting active;
+      if m > 0 then begin
+        acount := fill_sparse ~round:t ~transmitting sparse;
+        (match ctr_active with
+        | None -> ()
+        | Some c ->
+            Obs.Metrics.incr ~by:!acount c;
+            (match ctr_resolved with
+            | None -> ()
+            | Some c -> Obs.Metrics.incr ~by:(resolved_of !acount) c));
+        for k = 0 to !acount - 1 do
+          let e = Array.unsafe_get sparse k in
+          let a = Array.unsafe_get eu e and b = Array.unsafe_get ev e in
+          Array.unsafe_set adj_nbr (2 * k) b;
+          Array.unsafe_set adj_next (2 * k) (Array.unsafe_get adj_head a);
+          Array.unsafe_set adj_head a (2 * k);
+          Array.unsafe_set adj_nbr ((2 * k) + 1) a;
+          Array.unsafe_set adj_next ((2 * k) + 1) (Array.unsafe_get adj_head b);
+          Array.unsafe_set adj_head b ((2 * k) + 1)
+        done
+      end;
       for i = 0 to !tcount - 1 do
         let v = Array.unsafe_get transmitters i in
         match actions.(v) with
@@ -125,10 +168,18 @@ let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
             for j = g_off.(v) to g_off.(v + 1) - 1 do
               push (Array.unsafe_get g_adj j) sm
             done;
-            for j = inc.inc_off.(v) to inc.inc_off.(v + 1) - 1 do
-              if Bytes.unsafe_get active (Array.unsafe_get inc.inc_edge j) = '\001'
-              then push (Array.unsafe_get inc.inc_nbr j) sm
+            let j = ref (Array.unsafe_get adj_head v) in
+            while !j >= 0 do
+              push (Array.unsafe_get adj_nbr !j) sm;
+              j := Array.unsafe_get adj_next !j
             done
+      done;
+      (* Tear the round's adjacency back down, touching only the heads
+         the active edges set. *)
+      for k = 0 to !acount - 1 do
+        let e = Array.unsafe_get sparse k in
+        Array.unsafe_set adj_head (Array.unsafe_get eu e) (-1);
+        Array.unsafe_set adj_head (Array.unsafe_get ev e) (-1)
       done
     end;
     for u = 0 to n - 1 do
@@ -200,25 +251,36 @@ let run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
   done;
   !executed
 
-let run ?observer ?stop ?incidence ?sink ~dual ~scheduler ~nodes ~env ~rounds ()
-    =
-  let fill_active ~round ~transmitting:_ buf =
-    Scheduler.fill_active scheduler ~round buf
-  in
-  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
-    ?sink ()
-
-let run_adaptive ?observer ?stop ?incidence ?sink ~dual ~adversary ~nodes ~env
+let run ?observer ?stop ?incidence ?sink ?metrics ~dual ~scheduler ~nodes ~env
     ~rounds () =
-  let fill_active ~round ~transmitting buf =
-    for edge = 0 to Bytes.length buf - 1 do
-      Bytes.unsafe_set buf edge
-        (if Adaptive.choose adversary ~round ~transmitting ~edge then '\001'
-         else '\000')
-    done
+  let m = Dual.unreliable_count dual in
+  let fill_sparse ~round ~transmitting:_ buf =
+    Scheduler.fill_active_sparse scheduler ~round ~m buf
   in
-  run_with ~fill_active ~dual ~nodes ~env ~rounds ?incidence ?observer ?stop
-    ?sink ()
+  let resolved_of count =
+    if Scheduler.resolves_sparsely scheduler then count else m
+  in
+  run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
+    ?observer ?stop ?sink ?metrics ()
+
+let run_adaptive ?observer ?stop ?incidence ?sink ?metrics ~dual ~adversary
+    ~nodes ~env ~rounds () =
+  let m = Dual.unreliable_count dual in
+  let fill_sparse ~round ~transmitting buf =
+    let k = ref 0 in
+    for edge = 0 to m - 1 do
+      if Adaptive.choose adversary ~round ~transmitting ~edge then begin
+        Array.unsafe_set buf !k edge;
+        incr k
+      end
+    done;
+    !k
+  in
+  (* The adversary is consulted once per (round, edge) regardless of the
+     outcome. *)
+  let resolved_of _count = m in
+  run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
+    ?observer ?stop ?sink ?metrics ()
 
 (* The retained listener-centric resolver: for every listener, scan its
    topology neighborhood and apply the collision rule, querying the

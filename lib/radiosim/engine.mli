@@ -16,14 +16,19 @@
     paper's {e configuration}; given the per-node RNGs it fully determines
     the execution.
 
-    Reception is resolved {e transmitter-centrically}: the round's active
-    unreliable-edge set is materialized once into a reusable activation
-    buffer ({!Scheduler.fill_active}), then only the round's transmitters
-    push (first-message, collision) state along their CSR adjacency into
-    per-listener scratch.  A round therefore costs O(T·Δ' + n) for T
-    transmitters — the regime the decay-ladder algorithms live in, where
-    T is a small constant most rounds — instead of the listener-centric
-    O(n·Δ') of {!run_reference}. *)
+    Reception is resolved {e transmitter-centrically} over a {e sparse}
+    activation set: the round's active unreliable-edge indices are
+    materialized once into a reusable index buffer
+    ({!Scheduler.fill_active_sparse}), the round's unreliable adjacency
+    is built {e for those edges only}, and then only the round's
+    transmitters push (first-message, collision) state along their
+    reliable CSR slice plus that per-round adjacency into per-listener
+    scratch.  A round therefore costs O(T·Δ + active + n) for T
+    transmitters and [active] scheduled edges — the regime the
+    decay-ladder algorithms live in, where T is a small constant and,
+    under sparse link schedulers ({!Scheduler.bernoulli_sparse}),
+    [active ≈ p·m ≪ m] — instead of the listener-centric O(n·Δ') of
+    {!run_reference}. *)
 
 type incidence
 (** Per-node incidence of a dual graph's unreliable edges in flat CSR
@@ -40,6 +45,7 @@ val run :
   ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
   ?incidence:incidence ->
   ?sink:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
   dual:Dualgraph.Dual.t ->
   scheduler:Scheduler.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -62,13 +68,26 @@ val run :
     the round — [Round_end] with the round's aggregate counts).  When
     absent, no event code runs at all: the execution path, allocation
     behavior and produced traces are exactly those of the
-    uninstrumented engine. *)
+    uninstrumented engine.
+
+    [metrics], when given, registers two counters on the registry and
+    advances them once per round in which the activation set is resolved
+    (rounds with at least one transmitter and at least one unreliable
+    edge): [engine.active_edges] accumulates the size of each round's
+    active set, and [scheduler.edges_resolved] the number of per-edge
+    resolutions the scheduler performed to produce it — equal to the
+    active count for natively sparse schedulers
+    ({!Scheduler.resolves_sparsely}) and to the unreliable edge count
+    for dense ones.  Their ratio is the measured win of the sparse
+    path.  As with [sink], absence means the counting code never
+    runs. *)
 
 val run_adaptive :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
   ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
   ?incidence:incidence ->
   ?sink:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
   dual:Dualgraph.Dual.t ->
   adversary:Adaptive.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -80,9 +99,12 @@ val run_adaptive :
     {!Adaptive} adversary that sees the round's transmission vector —
     the model variant under which the paper's predecessor work proves
     efficient progress impossible.  The adversary is consulted once per
-    (round, edge) while the activation buffer is filled.  [sink] behaves
-    as in {!run}.  Kept separate from {!run} so that a type of scheduler
-    can never silently escalate into the stronger adversary. *)
+    (round, edge) while the activation index list is filled (an
+    adversary is inherently dense: it must see every edge to rule on
+    it, so [scheduler.edges_resolved] advances by the full unreliable
+    edge count per resolved round).  [sink] and [metrics] behave as in
+    {!run}.  Kept separate from {!run} so that a type of scheduler can
+    never silently escalate into the stronger adversary. *)
 
 val run_reference :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->

@@ -30,9 +30,30 @@ val fill_active : t -> round:int -> Bytes.t -> unit
     and hash-based schedulers hash each edge once instead of once per
     incident listener. *)
 
+val fill_active_sparse : t -> round:int -> m:int -> int array -> int
+(** [fill_active_sparse t ~round ~m buf] writes the indices of the edges
+    active in [round] (among edges [0 .. m-1]) into the prefix of [buf]
+    in strictly increasing order, each exactly once, and returns their
+    count.  Callers size [buf] to at least [m]
+    ({!Dualgraph.Dual.unreliable_count}) and reuse it across rounds.
+    Agrees with {!active} edge-by-edge and with {!fill_active} (checked
+    by the test suite), but schedulers whose expected active set is far
+    smaller than [m] — constant/periodic schedulers and
+    {!bernoulli_sparse} — emit the set directly in time proportional to
+    its size, instead of resolving all [m] edges.  Raises
+    [Invalid_argument] if [m < 0] or [buf] is shorter than [m]. *)
+
+val resolves_sparsely : t -> bool
+(** Whether {!fill_active_sparse} does work proportional to the emitted
+    set ([true]) rather than resolving every edge per round ([false] —
+    the derived fallback used by {!make} and hash-per-edge schedulers
+    like {!bernoulli}).  Feeds the [scheduler.edges_resolved]
+    observability counter; see [docs/OBSERVABILITY.md]. *)
+
 val make : name:string -> (round:int -> edge:int -> bool) -> t
 (** Build a custom scheduler.  The function must be pure; the batch
-    {!fill_active} form is derived from it. *)
+    {!fill_active} and {!fill_active_sparse} forms are derived from
+    it. *)
 
 val reliable_only : t
 (** Never includes an unreliable edge: the topology is always G.  Under
@@ -44,7 +65,24 @@ val all_edges : t
 
 val bernoulli : seed:int -> p:float -> t
 (** Each (edge, round) pair is included independently with probability
-    [p], via a hash of the pair — oblivious by construction. *)
+    [p], via a hash of the pair — oblivious by construction.  Resolving
+    a round costs one hash per edge; for sweeps where [p·m] is small,
+    {!bernoulli_sparse} has the same distribution at cost proportional
+    to the active set. *)
+
+val bernoulli_sparse : seed:int -> p:float -> t
+(** Distributionally equivalent to {!bernoulli} — each (edge, round)
+    pair active independently with probability [p], per-round active
+    count Binomial(m, p) — but {e not} bit-identical to it: the active
+    set is drawn by geometric skip sampling from a per-round SplitMix
+    stream seeded by [(seed, round)], so {!fill_active_sparse} costs
+    O(p·m + 1) per round instead of one hash per edge.  Still oblivious:
+    the round's set is a pure function of the round number.  The
+    two-sample tests in the suite check both the per-edge marginal and
+    the per-round count distribution against {!bernoulli}.  Membership
+    queries ({!active}) replay the round's walk through a one-round
+    memo, which makes a single [t] value unsafe to share across domains
+    (create one per trial, as the experiment harness already does). *)
 
 val flicker : period:int -> duty:int -> t
 (** Deterministic periodic scheduler: edges are present in rounds

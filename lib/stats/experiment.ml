@@ -16,34 +16,49 @@ let trials_par ?(domains = 1) ~seed ~n f =
   let workers = min domains n in
   if workers <= 1 then trials ~seed ~n f
   else begin
-    (* Static block partition of the trial indices over a small pool of
-       worker domains.  Each trial's seed depends only on its index, so
-       the partition cannot affect any result; slots are disjoint, so the
-       unsynchronized writes below are race-free. *)
+    (* Work-stealing loop over the trial indices: every worker claims
+       the next chunk from a shared atomic cursor until the range is
+       drained, so a few slow trials cannot strand the rest of a static
+       block on one domain.  Each trial's seed depends only on its
+       index and each result lands in its own slot, so the claiming
+       order cannot affect any result (bit-identical at any domain
+       count) and the unsynchronized writes below are race-free.  The
+       chunk size amortizes the fetch-and-add without costing balance:
+       at least 8 claims per worker on large n, single-trial claims on
+       small n. *)
     let results = Array.make n None in
-    let chunk = (n + workers - 1) / workers in
-    let worker w () =
-      let lo = w * chunk in
-      let hi = min n (lo + chunk) in
-      for trial = lo to hi - 1 do
-        results.(trial) <- Some (f ~trial ~seed:(derived_seed ~seed ~trial))
-      done
+    let chunk = max 1 (n / (workers * 8)) in
+    let cursor = Atomic.make 0 in
+    let rec worker () =
+      let lo = Atomic.fetch_and_add cursor chunk in
+      if lo < n then begin
+        let hi = min n (lo + chunk) in
+        for trial = lo to hi - 1 do
+          results.(trial) <- Some (f ~trial ~seed:(derived_seed ~seed ~trial))
+        done;
+        worker ()
+      end
     in
-    (* The spawning domain takes the first block itself. *)
-    let spawned = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
-    worker 0 ();
+    (* The spawning domain participates too. *)
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
     List.iter Domain.join spawned;
     List.init n (fun trial ->
         match results.(trial) with
         | Some r -> r
-        | None -> assert false (* every slot belongs to exactly one block *))
+        | None -> assert false (* the cursor covers every index exactly once *))
   end
 
 let count p l = List.length (List.filter p l)
 
 let float_samples f l = List.map f l
 
+(* Monotonic wall-clock (CLOCK_MONOTONIC via bechamel's stub, ns):
+   [Unix.gettimeofday] is wall time and steps backwards under NTP
+   adjustment, which produced negative "elapsed" readings in long
+   sweeps. *)
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = Monotonic_clock.now () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  let stop = Monotonic_clock.now () in
+  (result, Int64.to_float (Int64.sub stop start) /. 1e9)

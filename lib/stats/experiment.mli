@@ -17,11 +17,14 @@ val trials_par :
   ?domains:int -> seed:int -> n:int -> (trial:int -> seed:int -> 'a) -> 'a list
 (** [trials_par ~domains ~seed ~n f] is observably identical to
     [trials ~seed ~n f] — same derived seed per trial, results restored
-    to trial order — but partitions the trials over [domains] worker
-    domains (default [1], which runs sequentially without spawning).
-    [f] therefore runs concurrently with itself and must not share
-    mutable state across trials; make each trial return its measurements
-    and aggregate over the result list instead.  Raises
+    to trial order — but spreads the trials over [domains] worker
+    domains (default [1], which runs sequentially without spawning)
+    through a chunked work-stealing loop: workers claim the next chunk
+    of trial indices from a shared atomic cursor, so uneven per-trial
+    workloads rebalance instead of stranding a static block on one
+    domain.  [f] therefore runs concurrently with itself and must not
+    share mutable state across trials; make each trial return its
+    measurements and aggregate over the result list instead.  Raises
     [Invalid_argument] if [domains < 1]. *)
 
 val count : ('a -> bool) -> 'a list -> int
@@ -29,4 +32,6 @@ val count : ('a -> bool) -> 'a list -> int
 val float_samples : ('a -> float) -> 'a list -> float list
 
 val time : (unit -> 'a) -> 'a * float
-(** Result plus wall-clock seconds. *)
+(** Result plus elapsed seconds on the monotonic clock
+    (CLOCK_MONOTONIC) — immune to the backwards steps NTP inflicts on
+    time-of-day clocks, so the reading is always >= 0. *)

@@ -11,6 +11,7 @@ module G = Dualgraph.Graph
 module E = Dualgraph.Embedding
 module Dual = Dualgraph.Dual
 module Geo = Dualgraph.Geometric
+module Grid = Dualgraph.Grid
 module Region = Dualgraph.Region
 module Rng = Prng.Rng
 
@@ -66,6 +67,30 @@ let test_graph_union () =
   let a = G.create ~n:3 ~edges:[ (0, 1) ] in
   let b = G.create ~n:3 ~edges:[ (1, 2) ] in
   checki "union edges" 2 (G.edge_count (G.union a b))
+
+let test_graph_of_sorted_arrays () =
+  let us = [| 0; 0; 1; 2 |] and vs = [| 1; 3; 2; 4 |] in
+  let fast = G.of_sorted_arrays ~n:5 ~us ~vs ~len:4 in
+  let slow = G.create ~n:5 ~edges:[ (0, 1); (0, 3); (1, 2); (2, 4) ] in
+  checkb "equals create on the same edges" true (G.edges fast = G.edges slow);
+  (* len prefix: trailing slots are ignored *)
+  let prefix = G.of_sorted_arrays ~n:5 ~us ~vs ~len:2 in
+  checki "prefix edge count" 2 (G.edge_count prefix);
+  checki "empty" 0 (G.edge_count (G.of_sorted_arrays ~n:3 ~us:[||] ~vs:[||] ~len:0));
+  Alcotest.check_raises "unsorted rejected"
+    (Invalid_argument "Graph.of_sorted_arrays: edges must be strictly sorted")
+    (fun () ->
+      ignore (G.of_sorted_arrays ~n:5 ~us:[| 1; 0 |] ~vs:[| 2; 1 |] ~len:2));
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Graph.of_sorted_arrays: edges must be strictly sorted")
+    (fun () ->
+      ignore (G.of_sorted_arrays ~n:5 ~us:[| 0; 0 |] ~vs:[| 1; 1 |] ~len:2));
+  Alcotest.check_raises "unnormalized rejected"
+    (Invalid_argument "Graph.of_sorted_arrays: edges must satisfy 0 <= u < v < n")
+    (fun () -> ignore (G.of_sorted_arrays ~n:5 ~us:[| 3 |] ~vs:[| 1 |] ~len:1));
+  Alcotest.check_raises "out of range rejected"
+    (Invalid_argument "Graph.of_sorted_arrays: edges must satisfy 0 <= u < v < n")
+    (fun () -> ignore (G.of_sorted_arrays ~n:3 ~us:[| 0 |] ~vs:[| 3 |] ~len:1))
 
 let test_graph_csr_layout () =
   let g = G.create ~n:4 ~edges:[ (2, 0); (2, 3); (2, 1); (0, 1) ] in
@@ -138,6 +163,43 @@ let test_embedding_distance () =
   let emb = E.create [| p; q |] in
   Alcotest.check (Alcotest.float 1e-9) "vertex distance" 5.0 (E.vertex_distance emb 0 1);
   checki "n" 2 (E.n emb)
+
+(* --- Grid --- *)
+
+(* The 3x3 neighborhood must cover every vertex within the cell side of
+   the query point (u included), and visit ids as ascending per-cell
+   runs. *)
+let test_grid_neighborhood_covers () =
+  let rng = Rng.of_int 31 in
+  let n = 80 in
+  let pts =
+    Array.init n (fun _ ->
+        { E.x = Rng.float rng 5.0 -. 2.5; y = Rng.float rng 5.0 -. 2.5 })
+  in
+  let emb = E.create pts in
+  List.iter
+    (fun cell ->
+      let grid = Grid.create ~cell emb in
+      for u = 0 to n - 1 do
+        let seen = Array.make n 0 in
+        let prev = ref (-1) and runs = ref 1 in
+        Grid.iter_neighborhood grid u (fun v ->
+            seen.(v) <- seen.(v) + 1;
+            if v <= !prev then incr runs;
+            prev := v);
+        checkb "at most 9 ascending runs" true (!runs <= 9);
+        checki "u itself visited once" 1 seen.(u);
+        for v = 0 to n - 1 do
+          if E.vertex_distance emb u v <= cell then
+            checki
+              (Printf.sprintf "cell %.1f: u=%d covers v=%d" cell u v)
+              1 seen.(v)
+        done
+      done)
+    [ 1.0; 1.5 ];
+  Alcotest.check_raises "cell must be positive"
+    (Invalid_argument "Grid.create: cell size must be positive") (fun () ->
+      ignore (Grid.create ~cell:0.0 emb))
 
 (* --- Dual --- *)
 
@@ -213,6 +275,20 @@ let test_dual_is_r_geographic () =
   checkb "generator output is r-geographic" true (Dual.is_r_geographic dual);
   let bare = Dual.create ~g:(G.empty 2) ~g':(G.empty 2) () in
   checkb "no embedding: not checkable" false (Dual.is_r_geographic bare)
+
+let test_dual_validate_false () =
+  (* ~validate:false skips the geometric check (is_r_geographic can
+     still expose the violation) but never the E ⊆ E' check. *)
+  let emb = E.create [| { E.x = 0.0; y = 0.0 }; { E.x = 0.5; y = 0.0 } |] in
+  let g = G.empty 2 in
+  let dual = Dual.create ~embedding:emb ~validate:false ~g ~g':g () in
+  checkb "violation detectable after the fact" false (Dual.is_r_geographic dual);
+  Alcotest.check_raises "subset check still enforced"
+    (Invalid_argument "Dual.create: E is not a subset of E'") (fun () ->
+      ignore
+        (Dual.create ~validate:false
+           ~g:(G.create ~n:2 ~edges:[ (0, 1) ])
+           ~g':(G.empty 2) ()))
 
 (* --- Generators --- *)
 
@@ -396,9 +472,57 @@ let test_region_max_members_le_delta () =
 
 (* --- qcheck properties --- *)
 
+(* The historical all-pairs generator, re-implemented naively: points
+   drawn exactly as random_field draws them, then every pair (u, v) in
+   lexicographic order — d <= 1 reliable, 1 < d <= r grey with one
+   gray_g' draw (and a nested gray_g draw on success).  The grid-bucketed
+   generator must consume the rng identically and produce identical
+   graphs. *)
+let naive_random_field ~seed ~n ~width ~height ~r ~gray_g' ~gray_g =
+  let rng = Rng.of_int seed in
+  let points =
+    Array.init n (fun _ ->
+        { E.x = Rng.float rng width; y = Rng.float rng height })
+  in
+  let emb = E.create points in
+  let reliable = ref [] and all = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = E.vertex_distance emb u v in
+      if d <= 1.0 then begin
+        reliable := (u, v) :: !reliable;
+        all := (u, v) :: !all
+      end
+      else if d <= r then
+        if Rng.bernoulli rng gray_g' then begin
+          all := (u, v) :: !all;
+          if Rng.bernoulli rng gray_g then reliable := (u, v) :: !reliable
+        end
+    done
+  done;
+  let g = G.create ~n ~edges:!reliable in
+  let g' = G.create ~n ~edges:!all in
+  Dual.create ~embedding:emb ~r ~g ~g' ()
+
 let qcheck_cases =
   let open QCheck in
   [
+    Test.make
+      ~name:"bucketed generation matches the naive all-pairs reference"
+      ~count:40
+      (pair (int_range 0 60) small_int)
+      (fun (n, seed) ->
+        let fast =
+          Geo.random_field ~rng:(Rng.of_int seed) ~n ~width:4.5 ~height:4.5
+            ~r:1.6 ~gray_g':0.5 ~gray_g:0.2 ()
+        in
+        let slow =
+          naive_random_field ~seed ~n ~width:4.5 ~height:4.5 ~r:1.6
+            ~gray_g':0.5 ~gray_g:0.2
+        in
+        G.edges (Dual.g fast) = G.edges (Dual.g slow)
+        && G.edges (Dual.g' fast) = G.edges (Dual.g' slow)
+        && Dual.unreliable_edges fast = Dual.unreliable_edges slow);
     Test.make ~name:"random_field is r-geographic" ~count:25
       (pair (int_range 0 40) small_int)
       (fun (n, seed) ->
@@ -460,7 +584,9 @@ let suite =
       ("graph max closed degree", test_graph_max_closed_degree);
       ("graph subgraph", test_graph_subgraph);
       ("graph union", test_graph_union);
+      ("graph of_sorted_arrays", test_graph_of_sorted_arrays);
       ("graph csr layout", test_graph_csr_layout);
+      ("grid neighborhood covers", test_grid_neighborhood_covers);
       ("graph iter/fold neighbors", test_graph_iter_fold_neighbors);
       ("graph mem_edge out of range", test_graph_mem_edge_out_of_range);
       ("graph union overlap", test_graph_union_overlap);
@@ -476,6 +602,7 @@ let suite =
       ("dual geographic validation", test_dual_geographic_validation);
       ("dual distant unreliable invalid", test_dual_distant_unreliable_invalid);
       ("dual is_r_geographic", test_dual_is_r_geographic);
+      ("dual validate:false", test_dual_validate_false);
       ("clique structure", test_clique_structure);
       ("line structure", test_line_structure);
       ("pair/singleton", test_pair_singleton);

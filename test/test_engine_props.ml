@@ -92,11 +92,12 @@ let expected_delivery ~dual ~scheduler ~record u =
    outputs every round) across random duals, schedulers and transmit
    patterns. *)
 let scheduler_of_seed seed =
-  match seed mod 5 with
+  match seed mod 6 with
   | 0 -> Sch.reliable_only
   | 1 -> Sch.all_edges
   | 2 -> Sch.bernoulli ~seed ~p:0.4
   | 3 -> Sch.edge_phase_flicker ~period:(1 + (seed mod 7))
+  | 4 -> Sch.bernoulli_sparse ~seed ~p:0.4
   | _ -> Sch.flicker ~period:4 ~duty:2
 
 let equivalence_execution ~use_reference seed =
@@ -198,6 +199,28 @@ let qcheck_cases =
               (r.Trace.actions, r.Trace.delivered))
         in
         run_engine ~adaptive:true = run_engine ~adaptive:false);
+    Test.make
+      ~name:"fill_active_sparse agrees with active on random schedulers"
+      ~count:60 small_int
+      (fun seed ->
+        let scheduler = scheduler_of_seed seed in
+        let m = 1 + (seed mod 97) in
+        let buf = Array.make m (-1) in
+        let ok = ref true in
+        for round = 0 to 14 do
+          let count = Sch.fill_active_sparse scheduler ~round ~m buf in
+          if count < 0 || count > m then ok := false;
+          let member = Array.make m false in
+          for i = 0 to count - 1 do
+            if i > 0 && buf.(i - 1) >= buf.(i) then ok := false;
+            member.(buf.(i)) <- true
+          done;
+          for edge = 0 to m - 1 do
+            if Sch.active scheduler ~round ~edge <> member.(edge) then
+              ok := false
+          done
+        done;
+        !ok);
     Test.make ~name:"engine matches the reference collision rule" ~count:40
       small_int
       (fun seed ->

@@ -291,6 +291,130 @@ let test_scheduler_fill_active () =
       done)
     schedulers
 
+(* Scheduler.fill_active_sparse must emit exactly the active edges, as
+   strictly ascending indices, for every scheduler kind — the derived
+   scan path and both native sparse resolvers (constant schedulers and
+   the skip-sampling bernoulli_sparse). *)
+let test_scheduler_fill_active_sparse () =
+  let schedulers =
+    [
+      Sch.reliable_only;
+      Sch.all_edges;
+      Sch.bernoulli ~seed:11 ~p:0.35;
+      Sch.bernoulli_sparse ~seed:11 ~p:0.35;
+      Sch.bernoulli_sparse ~seed:4 ~p:0.0;
+      Sch.bernoulli_sparse ~seed:4 ~p:1.0;
+      Sch.flicker ~period:5 ~duty:2;
+      Sch.edge_phase_flicker ~period:3;
+      Sch.thwart ~hot:(fun round -> round mod 3 = 1);
+      Sch.make ~name:"custom" (fun ~round ~edge -> (round + edge) mod 4 = 0);
+    ]
+  in
+  let m = 41 in
+  let buf = Array.make m (-1) in
+  List.iter
+    (fun s ->
+      let name = Format.asprintf "%a" Sch.pp s in
+      for round = 0 to 24 do
+        let count = Sch.fill_active_sparse s ~round ~m buf in
+        checkb (Printf.sprintf "%s round %d count in range" name round)
+          true
+          (count >= 0 && count <= m);
+        for i = 1 to count - 1 do
+          checkb
+            (Printf.sprintf "%s round %d ascending at %d" name round i)
+            true
+            (buf.(i - 1) < buf.(i))
+        done;
+        let member = Array.make m false in
+        for i = 0 to count - 1 do
+          member.(buf.(i)) <- true
+        done;
+        for edge = 0 to m - 1 do
+          checkb
+            (Printf.sprintf "%s round %d edge %d" name round edge)
+            (Sch.active s ~round ~edge)
+            member.(edge)
+        done
+      done)
+    schedulers
+
+(* bernoulli_sparse draws the active set jointly (a count plus
+   placements) where bernoulli draws per-edge coins, so the two can only
+   be compared in distribution.  Two-sample checks over R rounds with
+   deterministic seeds:
+
+   - per-edge marginal: each edge's activation frequency under the two
+     schedulers, compared by a two-proportion z statistic, maximized
+     over edges;
+   - per-round activation count: the Binomial(m, p) count histogram,
+     compared by a two-sample χ² statistic.
+
+   With m = 64, p = 0.3, R = 4000 the χ² bins below have expected
+   counts well above 5, df = 13, and the 99.9% quantile is ≈ 34.5; the
+   z bound 4.5 leaves comparable slack after a union bound over the 64
+   edges.  Seeds are fixed, so these never flake — a failure means the
+   distribution actually moved. *)
+let test_bernoulli_sparse_distribution () =
+  let m = 64 and p = 0.3 and rounds = 4000 in
+  let dense = Sch.bernoulli ~seed:101 ~p in
+  let sparse = Sch.bernoulli_sparse ~seed:202 ~p in
+  let per_edge_d = Array.make m 0 and per_edge_s = Array.make m 0 in
+  let counts_d = Array.make rounds 0 and counts_s = Array.make rounds 0 in
+  let dense_buf = Bytes.create m in
+  let sparse_buf = Array.make m 0 in
+  for round = 0 to rounds - 1 do
+    Sch.fill_active dense ~round dense_buf;
+    for edge = 0 to m - 1 do
+      if Bytes.get dense_buf edge = '\001' then begin
+        per_edge_d.(edge) <- per_edge_d.(edge) + 1;
+        counts_d.(round) <- counts_d.(round) + 1
+      end
+    done;
+    let k = Sch.fill_active_sparse sparse ~round ~m sparse_buf in
+    counts_s.(round) <- k;
+    for i = 0 to k - 1 do
+      per_edge_s.(sparse_buf.(i)) <- per_edge_s.(sparse_buf.(i)) + 1
+    done
+  done;
+  (* per-edge marginals: two-proportion z, maximized over edges *)
+  let r = float_of_int rounds in
+  let worst_z = ref 0.0 in
+  for edge = 0 to m - 1 do
+    let pa = float_of_int per_edge_d.(edge) /. r in
+    let pb = float_of_int per_edge_s.(edge) /. r in
+    let pool = (pa +. pb) /. 2.0 in
+    let se = sqrt (2.0 *. pool *. (1.0 -. pool) /. r) in
+    let z = abs_float (pa -. pb) /. se in
+    if z > !worst_z then worst_z := z
+  done;
+  checkb
+    (Printf.sprintf "per-edge marginal worst |z| = %.2f < 4.5" !worst_z)
+    true (!worst_z < 4.5);
+  (* per-round count histogram: two-sample χ² over bins [<=13], 14..25,
+     [>=26] — expected bin masses all comfortably above 5 at R=4000 *)
+  let lo = 13 and hi = 26 in
+  let nbins = hi - lo + 1 in
+  let bin c = if c <= lo then 0 else if c >= hi then nbins - 1 else c - lo in
+  let hist_d = Array.make nbins 0 and hist_s = Array.make nbins 0 in
+  Array.iter (fun c -> hist_d.(bin c) <- hist_d.(bin c) + 1) counts_d;
+  Array.iter (fun c -> hist_s.(bin c) <- hist_s.(bin c) + 1) counts_s;
+  let chi2 = ref 0.0 in
+  for b = 0 to nbins - 1 do
+    let o1 = float_of_int hist_d.(b) and o2 = float_of_int hist_s.(b) in
+    if o1 +. o2 > 0.0 then
+      chi2 := !chi2 +. (((o1 -. o2) ** 2.0) /. (o1 +. o2))
+  done;
+  checkb
+    (Printf.sprintf "per-round count χ² = %.2f < 34.5 (df 13)" !chi2)
+    true (!chi2 < 34.5);
+  (* and the sample moments of the sparse count sit near Binomial(m, p) *)
+  let mean = Array.fold_left (fun a c -> a +. float_of_int c) 0.0 counts_s /. r in
+  checkb
+    (Printf.sprintf "sparse count mean %.2f ~ %.2f" mean (float_of_int m *. p))
+    true
+    (abs_float (mean -. (float_of_int m *. p)) < 0.5)
+
 (* --- trace utilities --- *)
 
 let sample_trace () =
@@ -384,6 +508,10 @@ let suite =
       ("transmitter counts unreliable", test_transmitter_counts_unreliable);
       ("transmitter counts precomputed incidence", test_transmitter_counts_incidence);
       ("scheduler fill_active agrees with active", test_scheduler_fill_active);
+      ( "scheduler fill_active_sparse agrees with active",
+        test_scheduler_fill_active_sparse );
+      ( "bernoulli_sparse matches bernoulli in distribution",
+        test_bernoulli_sparse_distribution );
       ("trace length/get", test_trace_length_get);
       ("trace queries", test_trace_queries);
       ("trace fold/iter", test_trace_fold_iter);

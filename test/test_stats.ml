@@ -148,6 +148,34 @@ let test_trials_par_edge_cases () =
     (Invalid_argument "Experiment.trials_par: domains must be >= 1") (fun () ->
       ignore (Experiment.trials_par ~domains:0 ~seed:1 ~n:3 (fun ~trial ~seed:_ -> trial)))
 
+(* The work-stealing runner must stay bit-identical to the sequential
+   runner even when per-trial cost is wildly uneven — stragglers shift
+   which domain executes which chunk, but results land by trial index
+   and seeds derive from the trial index alone.  The busy-work below
+   makes early trials ~100x the cost of late ones (and vice versa), so
+   the chunk cursor is actually contended at domains > 1. *)
+let test_trials_par_work_stealing () =
+  let burn spins seed =
+    let acc = ref seed in
+    for _ = 1 to spins do
+      acc := (!acc * 0x9E3779B1) land max_int
+    done;
+    !acc
+  in
+  let front_loaded ~trial ~seed = (trial, burn ((50 - trial) * 200) seed) in
+  let back_loaded ~trial ~seed = (trial, burn (trial * 200) seed) in
+  List.iter
+    (fun (name, f) ->
+      let reference = Experiment.trials ~seed:77 ~n:50 f in
+      List.iter
+        (fun domains ->
+          checkb
+            (Printf.sprintf "%s domains=%d bit-identical" name domains)
+            true
+            (Experiment.trials_par ~domains ~seed:77 ~n:50 f = reference))
+        [ 1; 2; 7 ])
+    [ ("front-loaded", front_loaded); ("back-loaded", back_loaded) ]
+
 let qcheck_cases =
   let open QCheck in
   [
@@ -163,7 +191,11 @@ let test_count_and_time () =
   checki "count" 2 (Experiment.count (fun x -> x > 1) [ 0; 2; 3 ]);
   let x, secs = Experiment.time (fun () -> 42) in
   checki "result" 42 x;
-  checkb "non-negative time" true (secs >= 0.0)
+  checkb "non-negative time" true (secs >= 0.0);
+  (* monotonic clock: a timed sleep-free busy loop reports a sane,
+     strictly bounded duration *)
+  let (), measured = Experiment.time (fun () -> ignore (Sys.opaque_identity (Array.make 1024 0))) in
+  checkb "bounded time" true (measured < 60.0)
 
 let suite =
   List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
@@ -186,6 +218,7 @@ let suite =
       ("trials seed derivation", test_trials_seed_derivation);
       ("trials_par matches sequential", test_trials_par_matches_sequential);
       ("trials_par edge cases", test_trials_par_edge_cases);
+      ("trials_par work stealing uneven load", test_trials_par_work_stealing);
       ("count and time", test_count_and_time);
     ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_cases
