@@ -16,6 +16,7 @@
      E17     SeedAlg vs gossip seed agreement (baseline)
      E18     physical-layer flood vs MAC-layer flood
      E19     the geographic parameter r
+     E20     crash/restart churn: ack-driven recovery vs a fixed budget
      obs     observability layer: event stream, metrics artifact, and the
              online auditor cross-checked against Lb_spec (writes
              BENCH_obs.json and BENCH_obs_events.jsonl)
@@ -43,6 +44,7 @@ let groups : (string * (unit -> unit)) list =
     ("e17", Exp_seed_baseline.run);
     ("e18", Exp_flood.run);
     ("e19", Exp_geo.run);
+    ("e20", Exp_churn.run);
     ("obs", Exp_obs.run);
     ("micro", Micro.run);
   ]
@@ -67,7 +69,7 @@ let () =
       ( "--only",
         Arg.String (fun s -> only := s :: !only),
         "GROUP run only this experiment group (e1-e4, e5-e7, e8, e9, e10, e11, \
-         e12, e13, e14, e15, e16, e17, e18, e19, obs, micro); repeatable" );
+         e12, e13, e14, e15, e16, e17, e18, e19, e20, obs, micro); repeatable" );
       ("--quick", Arg.Set Exp_common.quick, " reduced trial counts");
       ( "--domains",
         Arg.Int

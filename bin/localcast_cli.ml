@@ -238,8 +238,21 @@ let run_cmd =
             "Run the online spec auditor over the event stream and report \
              t_ack / t_prog deadline misses and delta-bound breaches.")
   in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject faults: ';'-separated clauses crash:NODE@ROUND, \
+             restart:NODE@ROUND, jam:NODE@FROM-UNTIL or \
+             churn:RATE[,DOWNTIME] (e.g. 'crash:3@10;restart:3@40' or \
+             'churn:0.002,120').  Churn is derived deterministically from \
+             --seed; spec accounting becomes survivor-relative (see \
+             docs/FAULTS.md).")
+  in
   let run topology scheduler link_p seed n width r gray eps phases senders tack
-      load events metrics_path audit =
+      load events metrics_path audit faults_spec =
     let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
     let n = Dual.n dual in
     Format.printf "%a@." Dual.pp dual;
@@ -249,8 +262,25 @@ let run_cmd =
     let nodes = L.Lb_alg.network params ~rng ~n in
     let senders = List.filter (fun v -> v >= 0 && v < n) senders in
     let envt = L.Lb_env.saturate ~n ~senders () in
-    let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
     let rounds = phases * params.L.Params.phase_len in
+    let faults =
+      match faults_spec with
+      | None -> None
+      | Some spec -> (
+          match Faults.Plan.of_spec ~seed ~n ~rounds spec with
+          | Ok plan ->
+              Format.printf "%a@." Faults.Plan.pp plan;
+              Some plan
+          | Error msg ->
+              Format.eprintf "localcast: bad --faults spec: %s@." msg;
+              exit 2)
+    in
+    let revive =
+      match faults with
+      | None -> None
+      | Some _ -> Some (L.Service.reviver ~params ~seed ())
+    in
+    let monitor = L.Lb_spec.monitor ?faults ~dual ~params ~env:envt () in
     (* Observability wiring: any of --events/--metrics/--audit needs the
        event stream, so they share one sink sized to the whole run. *)
     let want_obs = events <> None || metrics_path <> None || audit in
@@ -283,7 +313,8 @@ let run_cmd =
     in
     let executed, secs =
       Stats.Experiment.time (fun () ->
-          Radiosim.Engine.run ~observer ?sink ?metrics:registry ~dual
+          Radiosim.Engine.run ~observer ?sink ?metrics:registry ?faults
+            ?revive ~dual
             ~scheduler:(make_scheduler scheduler ~seed ~p:link_p)
             ~nodes ~env:(L.Lb_env.env envt) ~rounds ())
     in
@@ -337,7 +368,8 @@ let run_cmd =
     Term.(
       const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
       $ width_arg $ r_arg $ gray_arg $ eps_arg $ phases_arg $ senders_arg
-      $ tack_arg $ load_arg $ events_arg $ metrics_arg $ audit_arg)
+      $ tack_arg $ load_arg $ events_arg $ metrics_arg $ audit_arg
+      $ faults_arg)
 
 (* --- flood --- *)
 

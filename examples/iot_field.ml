@@ -30,7 +30,7 @@ let run_field ~n ~seed =
   let senders = List.init (max 1 (n / 10)) (fun i -> i * 10) in
   let nodes = L.Lb_alg.network params ~rng ~n in
   let envt = L.Lb_env.saturate ~n ~senders () in
-  let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
+  let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt () in
   let rounds = 5 * params.L.Params.phase_len in
   let (_ : int) =
     Radiosim.Engine.run

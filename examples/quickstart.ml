@@ -36,7 +36,7 @@ let () =
 
   (* 4. Run 8 phases under an adversarially flickering link scheduler,
         with the spec monitor watching every round. *)
-  let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
+  let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt () in
   let rounds = 8 * params.L.Params.phase_len in
   let executed =
     Radiosim.Engine.run

@@ -8,6 +8,7 @@ module Prng = Prng
 module Dualgraph = Dualgraph
 module Radiosim = Radiosim
 module Obs = Obs
+module Faults = Faults
 module Localcast = Localcast
 module Baseline = Baseline
 module Macapps = Macapps

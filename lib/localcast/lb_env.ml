@@ -33,8 +33,12 @@ let make ~name ~n ~initial ~reissue =
       Radiosim.Env.name;
           inputs =
             (fun ~round ~node ->
+              (* [r <= round], not [r = round]: a node that was dead (not
+                 polled) at its scheduled round receives the bcast at the
+                 first round it is alive again.  Without faults the two
+                 are equivalent — inputs are polled every round. *)
               match schedule.(node) with
-              | Some r when r = round ->
+              | Some r when r <= round ->
                   schedule.(node) <- None;
                   let payload =
                     Messages.payload ~src:node ~uid:next_uid.(node) ()

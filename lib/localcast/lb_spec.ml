@@ -32,6 +32,9 @@ type monitor = {
   params : Params.t;
   n : int;
   t_ack : int;
+  faults : Faults.Plan.t option;
+      (** survivor-relative accounting: claims are scoped to nodes alive
+          for the full obligation window *)
   (* activity tracking *)
   active : Messages.payload option array;
   bcast_round : (Messages.payload, int) Hashtbl.t;
@@ -54,13 +57,14 @@ type monitor = {
   mutable finished : bool;
 }
 
-let monitor ~dual ~params ~env:_ =
+let monitor ?faults ~dual ~params ~env:_ () =
   let n = Dual.n dual in
   {
     dual;
     params;
     n;
     t_ack = Params.t_ack_rounds params;
+    faults;
     active = Array.make n None;
     bcast_round = Hashtbl.create 32;
     receivers = Hashtbl.create 32;
@@ -79,13 +83,28 @@ let monitor ~dual ~params ~env:_ =
     finished = false;
   }
 
+(* Survivor predicate over an inclusive round window; everyone survives
+   when no plan is attached. *)
+let survivor m ~node ~from ~until =
+  match m.faults with
+  | None -> true
+  | Some plan -> Faults.Plan.alive_through plan ~node ~from ~until
+
 let close_phase m =
+  (* Called right after the phase's last round was observed, so the phase
+     covered rounds [rounds_observed - phase_len, rounds_observed - 1]. *)
+  let phase_hi = m.rounds_observed - 1 in
+  let phase_lo = m.rounds_observed - m.params.Params.phase_len in
   for u = 0 to m.n - 1 do
     let opportunity =
       Dual.fold_reliable_neighbors m.dual u ~init:false ~f:(fun acc v ->
           acc || m.active_all.(v))
     in
-    if opportunity then begin
+    (* t_prog claims are survivor-relative: only receivers alive for the
+       whole phase owe a reception (active_all already excludes senders
+       that died mid-phase, via the per-round activity check). *)
+    if opportunity && survivor m ~node:u ~from:phase_lo ~until:phase_hi
+    then begin
       m.progress_opportunities <- m.progress_opportunities + 1;
       if m.first_reception.(u) < 0 then
         m.progress_failures <- m.progress_failures + 1
@@ -163,12 +182,15 @@ let observe m (record : (Messages.msg, Messages.lb_input, Messages.lb_output) Tr
           | Messages.Ack payload ->
               acked := u :: !acked;
               m.ack_count <- m.ack_count + 1;
-              (match Hashtbl.find_opt m.bcast_round payload with
+              let b_opt = Hashtbl.find_opt m.bcast_round payload in
+              (match b_opt with
               | Some b ->
                   let latency = round - b in
                   if latency > m.max_ack_latency then m.max_ack_latency <- latency;
-                  if latency > m.t_ack then
-                    m.late_ack_count <- m.late_ack_count + 1;
+                  (* A sender that was down inside [b, round] owes no
+                     timeliness claim for this bcast. *)
+                  if latency > m.t_ack && survivor m ~node:u ~from:b ~until:round
+                  then m.late_ack_count <- m.late_ack_count + 1;
                   Hashtbl.remove m.bcast_round payload
               | None -> ());
               m.reliability_attempts <- m.reliability_attempts + 1;
@@ -177,19 +199,32 @@ let observe m (record : (Messages.msg, Messages.lb_input, Messages.lb_output) Tr
                 | Some set -> set
                 | None -> Hashtbl.create 1
               in
+              (* Reliability is owed to the neighbors alive for the whole
+                 [bcast, ack] window; the dead owe and are owed nothing. *)
+              let from = match b_opt with Some b -> b | None -> round in
               let all_neighbors_got_it =
                 Dual.fold_reliable_neighbors m.dual u ~init:true ~f:(fun acc v ->
-                    acc && Hashtbl.mem received_by v)
+                    acc
+                    && ((not (survivor m ~node:v ~from ~until:round))
+                       || Hashtbl.mem received_by v))
               in
               if not all_neighbors_got_it then
                 m.reliability_failures <- m.reliability_failures + 1
           | Messages.Recv _ | Messages.Committed _ -> ())
         outs)
     record.Trace.outputs;
-  (* 4. progress: a node must be active in every round of the phase. *)
+  (* 4. progress: a node must be active (and alive) in every round of the
+     phase. *)
   for v = 0 to m.n - 1 do
     if m.active.(v) = None then m.active_all.(v) <- false
   done;
+  (match m.faults with
+  | None -> ()
+  | Some plan ->
+      for v = 0 to m.n - 1 do
+        if not (Faults.Plan.alive plan ~node:v ~round) then
+          m.active_all.(v) <- false
+      done);
   (* 5. acked senders stop being active after this round. *)
   List.iter (fun u -> m.active.(u) <- None) !acked;
   m.rounds_observed <- m.rounds_observed + 1;
@@ -203,7 +238,15 @@ let finish m =
   end;
   let missing_ack_count =
     Hashtbl.fold
-      (fun _ b acc -> if m.rounds_observed - b > m.t_ack then acc + 1 else acc)
+      (fun payload b acc ->
+        (* The obligation window is [b, b + t_ack] (clipped to the run);
+           a sender down anywhere inside it is exempt. *)
+        let deadline = min (m.rounds_observed - 1) (b + m.t_ack) in
+        if
+          m.rounds_observed - b > m.t_ack
+          && survivor m ~node:payload.Messages.src ~from:b ~until:deadline
+        then acc + 1
+        else acc)
       m.bcast_round 0
   in
   {
@@ -220,7 +263,7 @@ let finish m =
     progress_latencies = List.rev m.progress_latencies_rev;
   }
 
-let check_trace ~dual ~params ~env trace =
-  let m = monitor ~dual ~params ~env in
+let check_trace ?faults ~dual ~params ~env trace =
+  let m = monitor ?faults ~dual ~params ~env () in
   Trace.iter (observe m) trace;
   finish m

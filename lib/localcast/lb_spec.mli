@@ -20,7 +20,17 @@
 
     The monitor is streaming: feed it each round record via {!observe}
     (e.g. as the engine's observer) and read the {!report} at the end —
-    no trace needs to be retained. *)
+    no trace needs to be retained.
+
+    {e Churn.}  With a [?faults] plan attached, every claim becomes
+    survivor-relative — scoped to nodes alive for the full obligation
+    window ([docs/FAULTS.md] spells the windows out): timely
+    acknowledgement and missing-ack verdicts exempt senders that were
+    down inside [\[bcast, bcast + t_ack\]]; reliability is owed only to
+    reliable neighbors alive through [\[bcast, ack\]]; a progress
+    opportunity requires both the receiver and some fully-active
+    reliable neighbor alive through the entire phase.  Without a plan,
+    behavior is unchanged. *)
 
 type report = {
   rounds_observed : int;
@@ -51,7 +61,15 @@ val progress_rate : report -> float
 
 type monitor
 
-val monitor : dual:Dualgraph.Dual.t -> params:Params.t -> env:Lb_env.t -> monitor
+val monitor :
+  ?faults:Faults.Plan.t ->
+  dual:Dualgraph.Dual.t ->
+  params:Params.t ->
+  env:Lb_env.t ->
+  unit ->
+  monitor
+(** [?faults] enables survivor-relative accounting (see above); it must
+    be the same plan the engine runs under. *)
 
 val observe :
   monitor ->
@@ -64,6 +82,7 @@ val finish : monitor -> report
     produce the report.  Idempotent. *)
 
 val check_trace :
+  ?faults:Faults.Plan.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   env:Lb_env.t ->

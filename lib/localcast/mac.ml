@@ -69,7 +69,7 @@ let request t ~node ~tag =
 let f_prog t = Params.t_prog_rounds t.params
 let f_ack t = Params.t_ack_rounds t.params
 
-let run ?observer ?stop ?sink ?metrics t ~scheduler ~rounds =
+let run ?observer ?stop ?sink ?metrics ?faults ?revive t ~scheduler ~rounds =
   if t.started then invalid_arg "Mac.run: already run";
   t.started <- true;
   let observer =
@@ -85,5 +85,5 @@ let run ?observer ?stop ?sink ?metrics t ~scheduler ~rounds =
         in
         Some f
   in
-  Radiosim.Engine.run ?observer ?stop ?sink ?metrics ~dual:t.dual ~scheduler
-    ~nodes:t.nodes ~env:t.env ~rounds ()
+  Radiosim.Engine.run ?observer ?stop ?sink ?metrics ?faults ?revive
+    ~dual:t.dual ~scheduler ~nodes:t.nodes ~env:t.env ~rounds ()

@@ -58,6 +58,11 @@ val run :
     bool) ->
   ?sink:Obs.Sink.t ->
   ?metrics:Obs.Metrics.t ->
+  ?faults:Faults.Plan.t ->
+  ?revive:
+    (node:int ->
+    round:int ->
+    (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Process.node) ->
   t ->
   scheduler:Radiosim.Scheduler.t ->
   rounds:int ->
@@ -68,4 +73,10 @@ val run :
     {!Lb_obs}-translated protocol events, as in {!Service.run}; when
     [metrics] is also given the conventional instruments (see
     [docs/OBSERVABILITY.md]) are maintained in it.  [metrics] without
-    [sink] is ignored. *)
+    [sink] is ignored.
+
+    [faults] and [revive] are forwarded to {!Radiosim.Engine.run}: a
+    crashed MAC node goes silent (its outstanding request, if any, stays
+    outstanding — the application sees no ack) and a restart swaps in
+    the process [revive] supplies; use [Lb_alg.node] with a derived RNG
+    for fresh-state re-entry, as {!Service.run} does. *)

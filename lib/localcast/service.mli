@@ -17,6 +17,21 @@ type outcome = {
           the run was given both a sink and a metrics registry *)
 }
 
+val reviver :
+  ?seed_source:Lb_alg.seed_source ->
+  params:Params.t ->
+  seed:int ->
+  unit ->
+  node:int ->
+  round:int ->
+  (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Process.node
+(** The fresh-state re-entry function the runners pass to
+    {!Radiosim.Engine.run} as [?revive] under a fault plan: a brand-new
+    {!Lb_alg.node} whose generator is [mix(seed·A + (node+1)·B +
+    (round+1)·C)] — a pure function of the run's identity, so faulted
+    runs stay bit-identical at any trial-parallelism split.  Exposed for
+    drivers (the CLI, benches) that call the engine directly. *)
+
 val run :
   ?scheduler:Radiosim.Scheduler.t ->
   ?seed_source:Lb_alg.seed_source ->
@@ -25,6 +40,7 @@ val run :
     unit) ->
   ?sink:Obs.Sink.t ->
   ?metrics:Obs.Metrics.t ->
+  ?faults:Faults.Plan.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   senders:int list ->
@@ -44,12 +60,21 @@ val run :
     together with [sink], additionally maintains the conventional
     instruments and fills [obs_snapshots] with one labeled snapshot per
     completed phase.  Neither option perturbs the execution: traces,
-    verdicts and RNG draws are identical with and without them. *)
+    verdicts and RNG draws are identical with and without them.
+
+    [faults] runs the engine under the given {!Faults.Plan} with
+    survivor-relative spec accounting (see {!Lb_spec}): the report's
+    [t_ack]/[t_prog] claims are scoped to nodes alive for the full
+    obligation window, so a crash plan yields no false breaches.
+    Restarted nodes re-enter with a fresh LBAlg process whose RNG is
+    derived from (seed, node, round) via SplitMix — deterministic at any
+    domain count. *)
 
 val one_shot :
   ?scheduler:Radiosim.Scheduler.t ->
   ?sink:Obs.Sink.t ->
   ?metrics:Obs.Metrics.t ->
+  ?faults:Faults.Plan.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   sender:int ->
@@ -59,12 +84,15 @@ val one_shot :
 (** A single [bcast] at round 0, run for the full derived
     acknowledgement window [t_ack].  The second component is the round by
     which the {e last} reliable neighbor had received the message, if all
-    of them did.  [sink] and [metrics] behave as in {!run}. *)
+    of them did.  [sink], [metrics] and [faults] behave as in {!run};
+    under a fault plan, completion is judged over the {e survivor}
+    neighbors (alive for the whole run) only. *)
 
 val first_reception :
   ?scheduler:Radiosim.Scheduler.t ->
   ?seed_source:Lb_alg.seed_source ->
   ?sink:Obs.Sink.t ->
+  ?faults:Faults.Plan.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   receiver:int ->

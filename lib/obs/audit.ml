@@ -36,6 +36,10 @@ type t = {
   (* δ state (allocated when g'_closed is present) *)
   commits : int array;  (** committed owner per node, min_int = none *)
   mutable commits_dirty : bool;
+  (* fault state, tracked from the event stream itself *)
+  down : (int, int) Hashtbl.t;  (** node → crash round, present iff down *)
+  down_in_phase : (int, unit) Hashtbl.t;
+      (** nodes dead at some point during the open progress phase *)
   mutable finished : bool;
 }
 
@@ -70,6 +74,8 @@ let create ?(window = 64) ?t_prog ?delta_bound ?g ?g'_closed ~t_ack () =
     open_phase = None;
     commits = Array.make (max n 1) min_int;
     commits_dirty = false;
+    down = Hashtbl.create 8;
+    down_in_phase = Hashtbl.create 8;
     finished = false;
   }
 
@@ -114,7 +120,11 @@ let close_phase t ~round =
           let opportunity =
             Array.exists (fun v -> t.active_all.(v)) neighbors
           in
-          if opportunity && not t.got_progress.(u) then
+          (* Survivor scoping: a receiver down at any point of the phase
+             owes no progress obligation. *)
+          if opportunity && not t.got_progress.(u)
+             && not (Hashtbl.mem t.down_in_phase u)
+          then
             flag t ~kind:(Progress_miss { phase }) ~node:u ~round
               (Printf.sprintf
                  "round %d: node %d missed the progress deadline of phase %d \
@@ -127,7 +137,16 @@ let close_phase t ~round =
   (* Mirror Lb_spec.close_phase: presume fully active, let each round's
      activity check (at Round_end) clear the nodes that are not. *)
   Array.fill t.active_all 0 (Array.length t.active_all) true;
-  Array.fill t.got_progress 0 (Array.length t.got_progress) false
+  Array.fill t.got_progress 0 (Array.length t.got_progress) false;
+  (* The new phase starts tainted only for nodes that are still down. *)
+  Hashtbl.reset t.down_in_phase;
+  Hashtbl.iter (fun node _ -> Hashtbl.replace t.down_in_phase node ()) t.down;
+  (* A currently-dead node is not an active sender either. *)
+  Hashtbl.iter
+    (fun node _ ->
+      if node >= 0 && node < Array.length t.active_all then
+        t.active_all.(node) <- false)
+    t.down
 
 let flag_missing t ~now (node, uid) bcast_round =
   Hashtbl.remove t.outstanding (node, uid);
@@ -204,6 +223,27 @@ let observe t ev =
       List.iter
         (fun (key, bcast_round) -> flag_missing t ~now:round key bcast_round)
         (List.sort compare overdue)
+  | Event.Crash { round = _; node } ->
+      Hashtbl.replace t.down node round;
+      Hashtbl.replace t.down_in_phase node ();
+      (* A dead node owes no acks: waive its outstanding obligations (and
+         any already-flagged ones, so an impossible post-mortem ack is not
+         scored as a latency). *)
+      let stale tbl =
+        Hashtbl.fold
+          (fun (v, uid) _ acc -> if v = node then (v, uid) :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove t.outstanding) (stale t.outstanding);
+      List.iter (Hashtbl.remove t.missed) (stale t.missed);
+      if node >= 0 && node < Array.length t.active_count then begin
+        t.active_count.(node) <- 0;
+        t.active_all.(node) <- false
+      end
+  | Event.Restart { round = _; node } ->
+      (* Fresh state going forward; down_in_phase keeps the current phase
+         waived until the next phase boundary. *)
+      Hashtbl.remove t.down node
   | Event.Round_start _ | Event.Transmit _ | Event.Deliver _
   | Event.Collision _ | Event.Recv _ | Event.Mark _ -> ()
 

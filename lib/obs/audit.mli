@@ -25,7 +25,16 @@
     Progress and δ auditing interpret the protocol-level events that
     [Localcast.Lb_obs] adds to the stream; a stream containing only the
     engine's structural events still gets full acknowledgement
-    auditing. *)
+    auditing.
+
+    {e Churn.}  The auditor is fault-aware through the stream alone: a
+    [Crash] event waives the crashed node's outstanding ack obligations
+    (dead senders owe nothing) and taints it for the open progress phase,
+    so a receiver that dies mid-window yields neither [Late_ack] /
+    [Missing_ack] nor [Progress_miss] false breaches; a [Restart] resumes
+    obligations from the next phase boundary on.  Verdicts are therefore
+    survivor-scoped, matching [Lb_spec]'s accounting under a
+    [Faults.Plan]. *)
 
 type kind =
   | Late_ack of { latency : int }  (** latency > t_ack *)

@@ -16,6 +16,8 @@ type t =
   | Ack of { round : int; node : int; uid : int; latency : int }
   | Progress of { round : int; node : int; latency : int }
   | Mark of { round : int; node : int; label : string }
+  | Crash of { round : int; node : int }
+  | Restart of { round : int; node : int }
 
 let round = function
   | Round_start { round }
@@ -29,7 +31,9 @@ let round = function
   | Recv { round; _ }
   | Ack { round; _ }
   | Progress { round; _ }
-  | Mark { round; _ } -> round
+  | Mark { round; _ }
+  | Crash { round; _ }
+  | Restart { round; _ } -> round
 
 let kind = function
   | Round_start _ -> "round_start"
@@ -44,6 +48,8 @@ let kind = function
   | Ack _ -> "ack"
   | Progress _ -> "progress"
   | Mark _ -> "mark"
+  | Crash _ -> "crash"
+  | Restart _ -> "restart"
 
 let equal (a : t) (b : t) = a = b
 
@@ -71,6 +77,8 @@ let pp ppf ev =
       Format.fprintf ppf "r%d %d:progress at +%d" round node latency
   | Mark { round; node; label } ->
       Format.fprintf ppf "r%d %d:mark %s" round node label
+  | Crash { round; node } -> Format.fprintf ppf "r%d %d:crash" round node
+  | Restart { round; node } -> Format.fprintf ppf "r%d %d:restart" round node
 
 let to_json ev =
   match ev with
@@ -107,6 +115,10 @@ let to_json ev =
   | Mark { round; node; label } ->
       Printf.sprintf {|{"ev":"mark","round":%d,"node":%d,"label":"%s"}|} round
         node (Json.escape label)
+  | Crash { round; node } ->
+      Printf.sprintf {|{"ev":"crash","round":%d,"node":%d}|} round node
+  | Restart { round; node } ->
+      Printf.sprintf {|{"ev":"restart","round":%d,"node":%d}|} round node
 
 let of_json_line line =
   let ( let* ) = Result.bind in
@@ -172,4 +184,12 @@ let of_json_line line =
       let* node = int "node" in
       let* label = Json.field_str fields "label" in
       Ok (Mark { round; node; label })
+  | "crash" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Crash { round; node })
+  | "restart" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Restart { round; node })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)

@@ -36,11 +36,36 @@ let unreliable_incidence dual =
    (first-message, collision) scratch — O(T·Δ + active + n) per round.
    All scratch never escapes, so it is allocated once per run. *)
 let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
-    ?observer ?stop ?sink ?metrics () =
+    ?observer ?stop ?sink ?metrics ?faults ?revive () =
   let n = Dual.n dual in
   if Array.length nodes <> n then
     invalid_arg "Engine.run: node array size differs from vertex count";
   if rounds < 0 then invalid_arg "Engine.run: negative round count";
+  (match faults with
+  | Some plan when Faults.Plan.n plan <> n ->
+      invalid_arg "Engine.run: fault plan node count differs from vertex count"
+  | _ -> ());
+  (* Restarts swap processes in place; work on a copy so the caller's
+     node array survives the run. *)
+  let nodes = match faults with None -> nodes | Some _ -> Array.copy nodes in
+  let dead = Bytes.make (max n 1) '\000' in
+  let fault_cursor =
+    match faults with None -> None | Some plan -> Some (Faults.Plan.cursor plan)
+  in
+  (* Liveness closures: one indirect call per node per round when a plan
+     is attached, a constant-false closure otherwise — the no-fault path
+     stays branch-for-branch the PR 4 loop. *)
+  let is_dead =
+    match faults with
+    | None -> fun _ -> false
+    | Some _ -> fun v -> Bytes.unsafe_get dead v = '\001'
+  in
+  let round = ref 0 in
+  let jammed =
+    match faults with
+    | None -> fun _ -> false
+    | Some plan -> fun v -> Faults.Plan.jammed plan ~node:v ~round:!round
+  in
   (match incidence with
   | Some inc ->
       if Array.length inc.inc_off <> n + 1 then
@@ -69,6 +94,14 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
         ( Some (Obs.Metrics.counter reg "engine.active_edges"),
           Some (Obs.Metrics.counter reg "scheduler.edges_resolved") )
   in
+  let ctr_crash, ctr_restart, ctr_jam =
+    match (metrics, faults) with
+    | Some reg, Some _ ->
+        ( Some (Obs.Metrics.counter reg "faults.crashes"),
+          Some (Obs.Metrics.counter reg "faults.restarts"),
+          Some (Obs.Metrics.counter reg "faults.jams") )
+    | _ -> (None, None, None)
+  in
   (* Per-listener reception scratch, reset (when touched) every round. *)
   let heard = Array.make (max n 1) None in
   let collided = Bytes.make (max n 1) '\000' in
@@ -87,7 +120,6 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
   let buffers = ref None in
   let executed = ref 0 in
   let continue = ref true in
-  let round = ref 0 in
   while !continue && !round < rounds do
     let t = !round in
     (* Event emission is gated on the sink's presence per site, never per
@@ -97,36 +129,76 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
     (match sink with
     | None -> ()
     | Some s -> Obs.Sink.emit s (Obs.Event.Round_start { round = t }));
-    (* Step 1 + 2: inputs, then transmit/listen decisions. *)
+    (* Fault transitions take effect at the top of the round: a node
+       crashing at round t is already silent in t, a node restarting at t
+       already participates in t (with the fresh process [revive]
+       supplies — without [revive], the frozen pre-crash state resumes). *)
+    (match fault_cursor with
+    | None -> ()
+    | Some cur ->
+        Faults.Plan.apply cur ~round:t (fun node ev ->
+            match ev with
+            | Faults.Plan.Crash ->
+                Bytes.unsafe_set dead node '\001';
+                (match sink with
+                | None -> ()
+                | Some s ->
+                    Obs.Sink.emit s (Obs.Event.Crash { round = t; node }));
+                (match ctr_crash with
+                | Some c -> Obs.Metrics.incr c
+                | None -> ())
+            | Faults.Plan.Restart ->
+                Bytes.unsafe_set dead node '\000';
+                (match revive with
+                | Some fresh -> nodes.(node) <- fresh ~node ~round:t
+                | None -> ());
+                (match sink with
+                | None -> ()
+                | Some s ->
+                    Obs.Sink.emit s (Obs.Event.Restart { round = t; node }));
+                (match ctr_restart with
+                | Some c -> Obs.Metrics.incr c
+                | None -> ())));
+    (* Step 1 + 2: inputs, then transmit/listen decisions.  A dead node
+       is invisible to its environment and its process is not stepped; a
+       jammed transmitter is charged for its decision but taken off the
+       air before reception is resolved. *)
     let inputs, actions, transmitting, delivered, outputs =
       match !buffers with
-      | Some ((inputs, actions, transmitting, _, _) as b) ->
-          for v = 0 to n - 1 do
-            inputs.(v) <- env.Env.inputs ~round:t ~node:v
-          done;
-          for v = 0 to n - 1 do
-            let a = nodes.(v).Process.decide ~round:t inputs.(v) in
-            actions.(v) <- a;
-            transmitting.(v) <-
-              (match a with Process.Transmit _ -> true | Process.Listen -> false)
-          done;
-          b
+      | Some b -> b
       | None ->
-          let inputs = Array.init n (fun v -> env.Env.inputs ~round:t ~node:v) in
-          let actions =
-            Array.mapi (fun v node -> node.Process.decide ~round:t inputs.(v)) nodes
+          let b =
+            ( Array.make n [],
+              (Array.make n Process.Listen : _ Process.action array),
+              Array.make n false,
+              Array.make n None,
+              Array.make n [] )
           in
-          let transmitting =
-            Array.map
-              (function Process.Transmit _ -> true | Process.Listen -> false)
-              actions
-          in
-          let delivered = Array.make n None in
-          let outputs = Array.make n [] in
-          let b = (inputs, actions, transmitting, delivered, outputs) in
           if not record_escapes then buffers := Some b;
           b
     in
+    for v = 0 to n - 1 do
+      inputs.(v) <- (if is_dead v then [] else env.Env.inputs ~round:t ~node:v)
+    done;
+    for v = 0 to n - 1 do
+      if is_dead v then begin
+        actions.(v) <- Process.Listen;
+        transmitting.(v) <- false
+      end
+      else begin
+        let a = nodes.(v).Process.decide ~round:t inputs.(v) in
+        actions.(v) <- a;
+        transmitting.(v) <-
+          (match a with
+          | Process.Transmit _ ->
+              if jammed v then begin
+                (match ctr_jam with Some c -> Obs.Metrics.incr c | None -> ());
+                false
+              end
+              else true
+          | Process.Listen -> false)
+      end
+    done;
     (* Step 3: receptions under the round's topology, driven by the
        transmitter set. *)
     let tcount = ref 0 in
@@ -187,7 +259,8 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
         (match actions.(u) with
         | Process.Transmit _ -> None
         | Process.Listen ->
-            if Bytes.unsafe_get collided u = '\001' then None
+            if is_dead u then None
+            else if Bytes.unsafe_get collided u = '\001' then None
             else Array.unsafe_get heard u)
     done;
     (* Structural events: one Transmit per transmitter, one
@@ -206,6 +279,7 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
           for u = 0 to n - 1 do
             match actions.(u) with
             | Process.Transmit _ -> ()
+            | Process.Listen when is_dead u -> ()
             | Process.Listen ->
                 if Bytes.unsafe_get collided u = '\001' then begin
                   incr collisions;
@@ -222,7 +296,8 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
     end;
     (* Step 4: outputs, consumed by the environment. *)
     for v = 0 to n - 1 do
-      outputs.(v) <- nodes.(v).Process.absorb ~round:t delivered.(v)
+      outputs.(v) <-
+        (if is_dead v then [] else nodes.(v).Process.absorb ~round:t delivered.(v))
     done;
     Array.iteri
       (fun v outs -> if outs <> [] then env.Env.notify ~round:t ~node:v outs)
@@ -251,8 +326,8 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
   done;
   !executed
 
-let run ?observer ?stop ?incidence ?sink ?metrics ~dual ~scheduler ~nodes ~env
-    ~rounds () =
+let run ?observer ?stop ?incidence ?sink ?metrics ?faults ?revive ~dual
+    ~scheduler ~nodes ~env ~rounds () =
   let m = Dual.unreliable_count dual in
   let fill_sparse ~round ~transmitting:_ buf =
     Scheduler.fill_active_sparse scheduler ~round ~m buf
@@ -261,10 +336,10 @@ let run ?observer ?stop ?incidence ?sink ?metrics ~dual ~scheduler ~nodes ~env
     if Scheduler.resolves_sparsely scheduler then count else m
   in
   run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
-    ?observer ?stop ?sink ?metrics ()
+    ?observer ?stop ?sink ?metrics ?faults ?revive ()
 
-let run_adaptive ?observer ?stop ?incidence ?sink ?metrics ~dual ~adversary
-    ~nodes ~env ~rounds () =
+let run_adaptive ?observer ?stop ?incidence ?sink ?metrics ?faults ?revive
+    ~dual ~adversary ~nodes ~env ~rounds () =
   let m = Dual.unreliable_count dual in
   let fill_sparse ~round ~transmitting buf =
     let k = ref 0 in
@@ -280,7 +355,7 @@ let run_adaptive ?observer ?stop ?incidence ?sink ?metrics ~dual ~adversary
      outcome. *)
   let resolved_of _count = m in
   run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
-    ?observer ?stop ?sink ?metrics ()
+    ?observer ?stop ?sink ?metrics ?faults ?revive ()
 
 (* The retained listener-centric resolver: for every listener, scan its
    topology neighborhood and apply the collision rule, querying the

@@ -46,6 +46,8 @@ val run :
   ?incidence:incidence ->
   ?sink:Obs.Sink.t ->
   ?metrics:Obs.Metrics.t ->
+  ?faults:Faults.Plan.t ->
+  ?revive:(node:int -> round:int -> ('msg, 'input, 'output) Process.node) ->
   dual:Dualgraph.Dual.t ->
   scheduler:Scheduler.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -80,7 +82,26 @@ val run :
     ({!Scheduler.resolves_sparsely}) and to the unreliable edge count
     for dense ones.  Their ratio is the measured win of the sparse
     path.  As with [sink], absence means the counting code never
-    runs. *)
+    runs.
+
+    [faults], when given, attaches a {!Faults.Plan} (whose node count
+    must match the graph's).  Transitions take effect at the top of
+    their round: a {e dead} node (crash round reached, restart round
+    not) is invisible to its environment ([inputs] not polled, outputs
+    discarded), its process is not stepped, it never transmits and it
+    receives nothing (its trace record shows [Listen] / no delivery /
+    no outputs); a node inside a {e jam window} still runs and may
+    decide to transmit, but the transmission is suppressed before
+    reception is resolved — no listener hears it and it causes no
+    collisions.  A {e restart} clears deadness and swaps in the process
+    [revive ~node ~round] returns (fresh algorithm state); without
+    [revive] the frozen pre-crash process resumes.  The caller's node
+    array is never mutated (restarts act on an internal copy).  With a
+    sink, [Crash]/[Restart] events are emitted inside the round's
+    bracket before any [Transmit]; with metrics, [faults.crashes],
+    [faults.restarts] and [faults.jams] counters advance.  With an
+    {e empty} plan — or none — the run is bit-identical to the
+    uninstrumented engine. *)
 
 val run_adaptive :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
@@ -88,6 +109,8 @@ val run_adaptive :
   ?incidence:incidence ->
   ?sink:Obs.Sink.t ->
   ?metrics:Obs.Metrics.t ->
+  ?faults:Faults.Plan.t ->
+  ?revive:(node:int -> round:int -> ('msg, 'input, 'output) Process.node) ->
   dual:Dualgraph.Dual.t ->
   adversary:Adaptive.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -102,9 +125,12 @@ val run_adaptive :
     (round, edge) while the activation index list is filled (an
     adversary is inherently dense: it must see every edge to rule on
     it, so [scheduler.edges_resolved] advances by the full unreliable
-    edge count per resolved round).  [sink] and [metrics] behave as in
-    {!run}.  Kept separate from {!run} so that a type of scheduler can
-    never silently escalate into the stronger adversary. *)
+    edge count per resolved round).  [sink], [metrics], [faults] and
+    [revive] behave as in {!run}; note the adversary sees the
+    {e on-air} transmission vector — dead and jammed nodes read as
+    non-transmitters.  Kept separate from {!run} so that a type of
+    scheduler can never silently escalate into the stronger
+    adversary. *)
 
 val run_reference :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->

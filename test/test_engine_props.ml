@@ -142,9 +142,71 @@ let records_equal a b =
   && a.Trace.delivered = b.Trace.delivered
   && a.Trace.outputs = b.Trace.outputs
 
+(* Every built-in scheduler, including the ones the trace-identity
+   property does not sample (thwart is adversary-shaped but still a
+   fixed function of the round). *)
+let scheduler_zoo seed =
+  [
+    Sch.reliable_only;
+    Sch.all_edges;
+    Sch.bernoulli ~seed ~p:0.3;
+    Sch.bernoulli_sparse ~seed ~p:0.3;
+    Sch.flicker ~period:5 ~duty:2;
+    Sch.edge_phase_flicker ~period:(1 + (seed mod 6));
+    Sch.thwart ~hot:(fun r -> ((r * 7) + seed) mod 5 < 2);
+  ]
+
 let qcheck_cases =
   let open QCheck in
   [
+    Test.make
+      ~name:
+        "built-in schedulers are oblivious: point queries are repeatable and \
+         order-independent, and agree with sparse resolution"
+      ~count:40 small_int
+      (fun seed ->
+        let m = 1 + (seed mod 53) in
+        let rng = Rng.of_int (seed + 77) in
+        List.for_all
+          (fun sch ->
+            (* Pseudo-random out-of-order (round, edge) point queries,
+               interleaved with whole-round sparse resolutions that
+               revisit rounds already queried — an oblivious schedule is
+               a pure function of (round, edge), so every answer must be
+               identical on the second pass. *)
+            let queries =
+              List.init 60 (fun _ -> (Rng.int rng 40, Rng.int rng m))
+            in
+            let ask () =
+              List.map
+                (fun (round, edge) -> Sch.active sch ~round ~edge)
+                queries
+            in
+            let first = ask () in
+            let buf = Array.make m (-1) in
+            let sparse_ok =
+              List.for_all
+                (fun round ->
+                  let count = Sch.fill_active_sparse sch ~round ~m buf in
+                  if count < 0 || count > m then false
+                  else begin
+                    let member = Array.make m false in
+                    let ok = ref true in
+                    for i = 0 to count - 1 do
+                      if i > 0 && buf.(i - 1) >= buf.(i) then ok := false;
+                      member.(buf.(i)) <- true
+                    done;
+                    for edge = 0 to m - 1 do
+                      if Sch.active sch ~round ~edge <> member.(edge) then
+                        ok := false
+                    done;
+                    !ok
+                  end)
+                (* out of order, with a repeat *)
+                [ 17; 3; 29; 3; 0; 38 ]
+            in
+            sparse_ok && first = ask ())
+          (scheduler_zoo seed));
     Test.make
       ~name:"transmitter-centric engine is trace-identical to the reference"
       ~count:60 small_int

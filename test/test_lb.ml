@@ -29,7 +29,7 @@ let run_lb ?(scheduler = Sch.reliable_only) ?(rng_seed = 7) ~params ~envt ~round
   let rng = Rng.of_int rng_seed in
   let nodes = Lb_alg.network params ~rng ~n in
   let trace, obs = Trace.recorder () in
-  let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let monitor = Lb_spec.monitor ~dual ~params ~env:envt () in
   let observer record =
     obs record;
     Lb_spec.observe monitor record
@@ -370,7 +370,7 @@ let mk_record ~n ~round ?(inputs = []) ?(delivered = []) ?(outputs = []) () =
 let synthetic_monitor dual =
   let params = small_params ~tack_phases:1 dual in
   let envt = Lb_env.one_shot ~n:(Dual.n dual) ~bcasts:[] in
-  (params, Lb_spec.monitor ~dual ~params ~env:envt)
+  (params, Lb_spec.monitor ~dual ~params ~env:envt ())
 
 let test_spec_validity_violation () =
   let dual = Geo.pair () in

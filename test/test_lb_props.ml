@@ -35,7 +35,7 @@ let random_run seed =
   let envt = Lb_env.saturate ~n ~senders () in
   let phases = 3 * params.Params.seed_refresh in
   let trace, obs = Trace.recorder () in
-  let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let monitor = Lb_spec.monitor ~dual ~params ~env:envt () in
   let observer record =
     obs record;
     Lb_spec.observe monitor record

@@ -23,6 +23,8 @@ let () =
       ("gossip-baseline", Test_gossip.suite);
       ("service", Test_service.suite);
       ("observability", Test_obs.suite);
+      ("faults", Test_faults.suite);
+      ("golden-traces", Test_golden.suite);
       ("printers", Test_printers.suite);
       ("stats", Test_stats.suite);
     ]

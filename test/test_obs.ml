@@ -89,6 +89,8 @@ let all_constructors =
     E.Ack { round = 9; node = 3; uid = 17; latency = 9 };
     E.Progress { round = 7; node = 6; latency = 7 };
     E.Mark { round = 4; node = -1; label = "weird \"label\"\nwith\tescapes\\" };
+    E.Crash { round = 11; node = 5 };
+    E.Restart { round = 15; node = 5 };
   ]
 
 let test_json_roundtrip_per_constructor () =

@@ -21,7 +21,7 @@ let run ~seed_source ~dual ~params ~phases ~rng_seed =
   let nodes = Lb_alg.network ~seed_source params ~rng:(Rng.of_int rng_seed) ~n in
   let envt = Lb_env.saturate ~n ~senders:[ 0 ] () in
   let trace, obs = Trace.recorder () in
-  let monitor = Lb_spec.monitor ~dual ~params ~env:envt in
+  let monitor = Lb_spec.monitor ~dual ~params ~env:envt () in
   let observer record =
     obs record;
     Lb_spec.observe monitor record

@@ -32,7 +32,7 @@ let test_run_matches_manual_pipeline () =
     let rng = Rng.of_int 7 in
     let nodes = L.Lb_alg.network params ~rng ~n in
     let envt = L.Lb_env.saturate ~n ~senders:[ 0 ] () in
-    let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt in
+    let monitor = L.Lb_spec.monitor ~dual ~params ~env:envt () in
     let (_ : int) =
       Radiosim.Engine.run
         ~observer:(L.Lb_spec.observe monitor)
