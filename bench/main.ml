@@ -17,10 +17,11 @@
      E18     physical-layer flood vs MAC-layer flood
      E19     the geographic parameter r
      E20     crash/restart churn: ack-driven recovery vs a fixed budget
+     E21     tiled engine at scale: flat per-node cost to n = 10^6
      obs     observability layer: event stream, metrics artifact, and the
              online auditor cross-checked against Lb_spec (writes
              BENCH_obs.json and BENCH_obs_events.jsonl)
-     micro   Bechamel micro-benchmarks M1-M8 (also writes BENCH_micro.json)
+     micro   Bechamel micro-benchmarks M1-M9 (also writes BENCH_micro.json)
 
    Usage:
      dune exec bench/main.exe                # everything, full trials
@@ -45,6 +46,7 @@ let groups : (string * (unit -> unit)) list =
     ("e18", Exp_flood.run);
     ("e19", Exp_geo.run);
     ("e20", Exp_churn.run);
+    ("e21", Exp_scale.run);
     ("obs", Exp_obs.run);
     ("micro", Micro.run);
   ]

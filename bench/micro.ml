@@ -1,4 +1,4 @@
-(* M1-M8: Bechamel micro-benchmarks of the core primitives, one per
+(* M1-M9: Bechamel micro-benchmarks of the core primitives, one per
    experiment table in the performance section of EXPERIMENTS.md.  Each
    prints an OLS estimate of nanoseconds per run against the monotonic
    clock; the same estimates are written to BENCH_micro.json so the
@@ -181,6 +181,32 @@ let m8_topology =
            ~rng:(Prng.Rng.of_int !counter)
            ~n:1000 ~width:19.0 ~height:19.0 ~r:1.5 ()))
 
+(* M9: the tiled engine's full per-round machinery — pool spawn, the
+   three SPMD phases, halo exchange and coordinator serialization — on a
+   moderate field at tiles=2.  Sixty-four rounds per run amortize the
+   one-off pool/tiling setup (domain spawn is the noisy part on a
+   time-shared host) so the estimate tracks the steady-state round
+   cost; E21 covers the large-n end. *)
+let m9_tiled_round =
+  let n = 256 in
+  let dual =
+    Geo.random_field
+      ~rng:(Prng.Rng.of_int 9)
+      ~n ~width:16.0 ~height:16.0 ~r:1.5 ~gray_g':0.5 ()
+  in
+  let rng = Prng.Rng.of_int 10 in
+  let nodes =
+    Array.init n (fun src ->
+        Baseline.Uniform.node ~p:0.05
+          ~message:(Localcast.Messages.payload ~src ~uid:0 ())
+          ~rng:(Prng.Rng.split rng))
+  in
+  let scheduler = Sch.bernoulli_sparse ~seed:9 ~p:0.05 in
+  let env = Radiosim.Env.null ~name:"bench" () in
+  bench ~name:"M9 tiled engine 64 rounds (field-256, tiles=2)" (fun () ->
+      ignore
+        (Radiosim.Tiled.run ~tiles:2 ~dual ~scheduler ~nodes ~env ~rounds:64 ()))
+
 (* --- JSON trajectory snapshot ---
 
    The writer escapes through the observability layer's shared
@@ -215,7 +241,7 @@ let warmup fn =
   done
 
 let run () =
-  Exp_common.section "M1-M8: micro-benchmarks (Bechamel, monotonic clock)";
+  Exp_common.section "M1-M9: micro-benchmarks (Bechamel, monotonic clock)";
   let tests =
     [
       m1_engine_round;
@@ -228,6 +254,7 @@ let run () =
       m7_dense_fill;
       m7_sparse_fill;
       m8_topology;
+      m9_tiled_round;
     ]
   in
   (* The quota is the minimum-measurement-time floor: estimates over

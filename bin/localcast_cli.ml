@@ -5,6 +5,9 @@
      seed   — run seed agreement and report the Seed spec outcome
      run    — run LBAlg under an oblivious scheduler and report the LB spec
      flood  — run the abstract-MAC-layer flood application
+     trace  — print a round-by-round execution transcript
+     verify — CI-style specification check, non-zero exit on failure
+     scale-smoke — tiled engine at size, with a tiling-invariant trace hash
 
    Every run is a pure function of --seed, so reported numbers are
    reproducible. *)
@@ -406,6 +409,120 @@ let flood_cmd =
 
 (* --- trace --- *)
 
+(* --- scale-smoke: the tiled engine at size, with a trace digest --- *)
+
+let scale_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"INT" ~doc:"Number of rounds to run.")
+  in
+  let tiles_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "tiles" ] ~docv:"INT"
+        ~doc:
+          "Tile (domain) count for the tiled engine.  The printed trace \
+           hash is identical at every value — run twice with different \
+           --tiles and compare (CI does exactly that).")
+  in
+  let scale_n_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "n"; "nodes" ] ~docv:"INT" ~doc:"Number of nodes.")
+  in
+  let run seed n rounds tiles =
+    (* Constant-density field: one node per unit square, r = 1, so Δ is
+       independent of n and cost flatness is visible directly. *)
+    let side = sqrt (float_of_int n) in
+    let t0 = Unix.gettimeofday () in
+    let dual =
+      Geo.random_field
+        ~rng:(Prng.Rng.of_int seed)
+        ~n ~width:side ~height:side ~r:1.0 ~gray_g':0.5 ()
+    in
+    let t_topo = Unix.gettimeofday () -. t0 in
+    let node_rng = Prng.Rng.of_int (seed + 1) in
+    let nodes =
+      Array.init n (fun src ->
+          Baseline.Uniform.node ~p:0.01
+            ~message:(L.Messages.payload ~src ~uid:0 ())
+            ~rng:(Prng.Rng.split node_rng))
+    in
+    (* FNV-1a over every round's actions and deliveries: an
+       order-sensitive digest of the observable trace. *)
+    let hash = ref 0xcbf29ce48422325 in
+    let fnv x = hash := (!hash lxor x) * 0x100000001b3 in
+    let observer record =
+      fnv record.Radiosim.Trace.round;
+      Array.iter
+        (fun a ->
+          fnv
+            (match a with
+            | Radiosim.Process.Transmit (L.Messages.Data p) -> 3 + p.L.Messages.src
+            | Radiosim.Process.Transmit _ -> 2
+            | Radiosim.Process.Listen -> 1))
+        record.Radiosim.Trace.actions;
+      Array.iter
+        (fun d ->
+          fnv
+            (match d with
+            | Some (L.Messages.Data p) -> 3 + p.L.Messages.src
+            | Some _ -> 2
+            | None -> 1))
+        record.Radiosim.Trace.delivered
+    in
+    let t1 = Unix.gettimeofday () in
+    let executed =
+      Radiosim.Tiled.run ~observer ~tiles ~dual
+        ~scheduler:(Sch.bernoulli_sparse ~seed ~p:0.02)
+        ~nodes
+        ~env:(Radiosim.Env.null ~name:"scale-smoke" ())
+        ~rounds ()
+    in
+    let t_run = Unix.gettimeofday () -. t1 in
+    let rss_mb =
+      try
+        let ic = open_in "/proc/self/status" in
+        let rec scan () =
+          match input_line ic with
+          | line when String.length line > 6 && String.sub line 0 6 = "VmRSS:" ->
+              let v =
+                String.trim (String.sub line 6 (String.length line - 6))
+              in
+              let kb =
+                match String.split_on_char ' ' v with
+                | x :: _ -> float_of_string x
+                | [] -> nan
+              in
+              close_in ic;
+              Some (kb /. 1024.0)
+          | _ -> scan ()
+          | exception End_of_file ->
+              close_in ic;
+              None
+        in
+        scan ()
+      with _ -> None
+    in
+    Format.printf "n=%d rounds=%d tiles=%d seed=%d@." n executed tiles seed;
+    Format.printf "topology: %.3fs  run: %.3fs  (%.1f ns/node/round)@." t_topo
+      t_run
+      (t_run *. 1e9 /. float_of_int (max 1 (n * executed)));
+    (match rss_mb with
+    | Some mb -> Format.printf "rss: %.1f MB@." mb
+    | None -> Format.printf "rss: n/a@.");
+    Format.printf "trace-hash: %016x@." (!hash land max_int)
+  in
+  Cmd.v
+    (Cmd.info "scale-smoke"
+       ~doc:
+         "Run the tiled engine on a constant-density field and print \
+          wall-clock, resident memory and an order-sensitive trace hash.  \
+          The hash is invariant under --tiles; CI compares a 1-tile and a \
+          2-tile run at n=10^5.")
+    Term.(const run $ seed_arg $ scale_n_arg $ rounds_arg $ tiles_arg)
+
 let trace_cmd =
   let rounds_arg =
     Arg.(
@@ -574,4 +691,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "localcast" ~doc)
-          [ topo_cmd; seed_cmd; run_cmd; flood_cmd; trace_cmd; verify_cmd ]))
+          [ topo_cmd; seed_cmd; run_cmd; flood_cmd; trace_cmd; verify_cmd;
+            scale_cmd ]))

@@ -13,3 +13,4 @@ module Localcast = Localcast
 module Baseline = Baseline
 module Macapps = Macapps
 module Stats = Stats
+module Parallel = Parallel

@@ -41,16 +41,21 @@ let create ~cell emb =
       if p.Embedding.y > !maxy then maxy := p.Embedding.y
     done;
     let minx = !minx and miny = !miny in
-    (* Every coordinate satisfies (x - minx) / cell < cols by
-       construction: cols = floor(span / cell) + 1 > span / cell. *)
+    (* cols = floor(span / cell) + 1 > span / cell, so interior
+       coordinates index in range by construction.  Points landing
+       exactly on the right/top edge (x = minx + span) are still
+       clamped defensively: [(x -. minx) /. cell] re-rounds, and
+       trusting it to stay strictly below [cols] leaves the bucket
+       write one float ulp away from out-of-bounds. *)
     let cols = int_of_float (Float.floor ((!maxx -. minx) /. cell)) + 1 in
     let rows = int_of_float (Float.floor ((!maxy -. miny) /. cell)) + 1 in
+    let clamp hi i = if i < 0 then 0 else if i >= hi then hi - 1 else i in
     let cell_of = Array.make n 0 in
     let counts = Array.make ((cols * rows) + 1) 0 in
     for v = 0 to n - 1 do
       let p = Embedding.point emb v in
-      let cx = int_of_float ((p.Embedding.x -. minx) /. cell) in
-      let cy = int_of_float ((p.Embedding.y -. miny) /. cell) in
+      let cx = clamp cols (int_of_float ((p.Embedding.x -. minx) /. cell)) in
+      let cy = clamp rows (int_of_float ((p.Embedding.y -. miny) /. cell)) in
       let c = cx + (cy * cols) in
       cell_of.(v) <- c;
       counts.(c + 1) <- counts.(c + 1) + 1
@@ -69,6 +74,10 @@ let create ~cell emb =
     done;
     { minx; miny; cell; cols; rows; off; ids; cell_of }
   end
+
+let cols t = t.cols
+let rows t = t.rows
+let cell_index t v = t.cell_of.(v)
 
 let iter_neighborhood t u f =
   let c = t.cell_of.(u) in

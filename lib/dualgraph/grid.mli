@@ -15,6 +15,19 @@ val create : cell:float -> Embedding.t -> t
     side [cell].  Raises [Invalid_argument] unless [cell > 0].  Within a
     cell, vertex ids are stored in ascending order. *)
 
+val cols : t -> int
+(** Number of cell columns (>= 1). *)
+
+val rows : t -> int
+(** Number of cell rows (>= 1). *)
+
+val cell_index : t -> int -> int
+(** [cell_index t v] is vertex [v]'s flat cell index, in
+    [0 .. cols t * rows t - 1]; the column is [cell_index t v mod
+    cols t].  Boundary coordinates (a point exactly on the field's
+    right/top edge) are clamped into the last column/row, never out of
+    range.  {!Tile} stripes the field by these columns. *)
+
 val iter_neighborhood : t -> int -> (int -> unit) -> unit
 (** [iter_neighborhood t u f] applies [f] to every vertex in the 3x3
     block of cells centered on [u]'s cell — a superset of all vertices

@@ -1,0 +1,70 @@
+type t = {
+  tiles : int;
+  owner : int array; (* vertex -> tile *)
+  members : int array array; (* tile -> vertices, ascending *)
+}
+
+let tiles t = t.tiles
+let owner t v = t.owner.(v)
+let members t i = t.members.(i)
+
+(* [ranking] lists the vertices in spatial order; tile i takes the
+   slice [i*n/k, (i+1)*n/k), so sizes differ by at most one. *)
+let of_ranking ~n ~tiles ranking =
+  let owner = Array.make (max n 1) 0 in
+  let members =
+    Array.init tiles (fun i ->
+        let lo = i * n / tiles and hi = (i + 1) * n / tiles in
+        let mem = Array.sub ranking lo (hi - lo) in
+        Array.sort compare mem;
+        Array.iter (fun v -> owner.(v) <- i) mem;
+        mem)
+  in
+  { tiles; owner; members }
+
+let of_dual ?(tiles = 1) dual =
+  let n = Dual.n dual in
+  let k = min (max 1 tiles) (max 1 n) in
+  match Dual.embedding dual with
+  | Some emb when n > 0 && k > 1 ->
+      (* Stable counting sort of the vertices by grid column: within a
+         column ids stay ascending, and consecutive ranking slices are
+         consecutive stripes of columns. *)
+      let grid = Grid.create ~cell:(Float.max (Dual.r dual) 1.0) emb in
+      let cols = Grid.cols grid in
+      let col v = Grid.cell_index grid v mod cols in
+      let counts = Array.make (cols + 1) 0 in
+      for v = 0 to n - 1 do
+        let c = col v in
+        counts.(c + 1) <- counts.(c + 1) + 1
+      done;
+      for c = 1 to cols do
+        counts.(c) <- counts.(c) + counts.(c - 1)
+      done;
+      let ranking = Array.make n 0 in
+      for v = 0 to n - 1 do
+        let c = col v in
+        ranking.(counts.(c)) <- v;
+        counts.(c) <- counts.(c) + 1
+      done;
+      of_ranking ~n ~tiles:k ranking
+  | _ -> of_ranking ~n ~tiles:k (Array.init n Fun.id)
+
+let cross_edges t dual =
+  let crossing = ref 0 in
+  let g' = Dual.g' dual in
+  let off = Graph.csr_offsets g' and adj = Graph.csr_neighbors g' in
+  for u = 0 to Dual.n dual - 1 do
+    for j = off.(u) to off.(u + 1) - 1 do
+      let v = adj.(j) in
+      if u < v && t.owner.(u) <> t.owner.(v) then incr crossing
+    done
+  done;
+  !crossing
+
+let pp ppf t =
+  Format.fprintf ppf "tiles:";
+  Array.iteri
+    (fun i mem -> Format.fprintf ppf "%s%d:%d" (if i > 0 then " " else " ") i
+        (Array.length mem))
+    t.members

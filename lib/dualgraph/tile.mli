@@ -1,0 +1,39 @@
+(** Spatial tiling of a dual graph's vertex set.
+
+    A tiling partitions the vertices into [tiles] disjoint, jointly
+    exhaustive tiles of near-equal size (sizes differ by at most one).
+    When the dual graph carries an embedding, tiles are vertical
+    stripes of {!Grid} columns at cell side [max r 1.0], ordered left
+    to right and balanced by vertex count — so for an r-geographic
+    field almost all edges stay inside a tile and cross-tile ("halo")
+    traffic is proportional to the stripe boundaries, not to the area.
+    Without an embedding the tiling falls back to contiguous vertex-id
+    ranges, which is still a valid partition (just with no locality
+    guarantee).
+
+    The tiling is a pure index: which tile owns which vertex.  It
+    never affects simulation semantics — the tiled engine produces the
+    same trace under any tiling — only which domain does the work. *)
+
+type t
+
+val of_dual : ?tiles:int -> Dual.t -> t
+(** [of_dual ~tiles dual] partitions [dual]'s vertices into
+    [min (max 1 tiles) (max 1 n)] tiles (so every tile of a non-empty
+    graph is non-empty).  [tiles] defaults to 1. *)
+
+val tiles : t -> int
+(** Number of tiles (>= 1). *)
+
+val owner : t -> int -> int
+(** [owner t v] is the tile owning vertex [v]. *)
+
+val members : t -> int -> int array
+(** [members t i] are tile [i]'s vertices in ascending order.  Owned by
+    the tiling — do not mutate. *)
+
+val cross_edges : t -> Dual.t -> int
+(** Diagnostic: how many edges of G' (reliable and unreliable) have
+    endpoints in different tiles — the per-round halo volume bound. *)
+
+val pp : Format.formatter -> t -> unit

@@ -31,6 +31,8 @@ let make ~name ~n ~initial ~reissue =
   let env =
     {
       Radiosim.Env.name;
+          (* [inputs] consumes the schedule slot — a side effect. *)
+          pure_inputs = false;
           inputs =
             (fun ~round ~node ->
               (* [r <= round], not [r = round]: a node that was dead (not

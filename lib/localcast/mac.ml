@@ -47,7 +47,14 @@ let create ?(callbacks = no_callbacks) ~params ~rng ~dual () =
     params;
     dual;
     nodes = Lb_alg.network params ~rng ~n;
-    env = { Radiosim.Env.name = "abstract-mac"; inputs = env_inputs; notify = env_notify };
+    env =
+      {
+        Radiosim.Env.name = "abstract-mac";
+        (* [inputs] pops the queued bcast — a side effect. *)
+        pure_inputs = false;
+        inputs = env_inputs;
+        notify = env_notify;
+      };
     queued;
     outstanding;
     next_uid = Array.make n 0;

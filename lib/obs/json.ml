@@ -60,14 +60,31 @@ let parse_flat line =
            | 'n' -> Buffer.add_char buf '\n'
            | 't' -> Buffer.add_char buf '\t'
            | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
            | 'u' ->
+               (* Exactly four hex digits, decoded by hand: routing the
+                  substring through [int_of_string "0x…"] accepted
+                  OCaml's numeric-literal leniencies — "\u0_41" parsed
+                  as 0x41 — so a line could decode to a string whose
+                  re-emission differed byte-for-byte from the input. *)
                if !pos + 4 > n then fail "truncated \\u escape";
-               let hex = String.sub line !pos 4 in
-               pos := !pos + 4;
-               (match int_of_string_opt ("0x" ^ hex) with
-               | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
-               | Some _ -> fail "non-ASCII \\u escape unsupported"
-               | None -> fail "malformed \\u escape %S" hex)
+               let code = ref 0 in
+               for _ = 1 to 4 do
+                 let d =
+                   match line.[!pos] with
+                   | '0' .. '9' as c -> Char.code c - Char.code '0'
+                   | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                   | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                   | _ ->
+                       fail "malformed \\u escape %S"
+                         (String.sub line !pos (min 4 (n - !pos)))
+                 in
+                 incr pos;
+                 code := (!code lsl 4) lor d
+               done;
+               if !code < 0x80 then Buffer.add_char buf (Char.chr !code)
+               else fail "non-ASCII \\u escape unsupported"
            | e -> fail "unknown escape '\\%c'" e);
           go ()
       | c -> Buffer.add_char buf c; go ()

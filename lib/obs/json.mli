@@ -27,7 +27,14 @@ val parse_flat : string -> ((string * value) list, string) result
     restricted to integers, booleans and strings — into its fields in
     order of appearance.  Returns [Error reason] on malformed input,
     nested structures, or trailing garbage.  Inverse of the object
-    serialization used by {!Event.to_json}. *)
+    serialization used by {!Event.to_json}: in particular the string
+    parser accepts every escape {!escape} emits — including the
+    [\uXXXX] forms covering the control bytes — with exactly four hex
+    digits, so [escape]d strings over the full byte range survive a
+    parse round trip unchanged ([\u0_41]-style lenient forms are
+    rejected, keeping re-emission byte-identical).  Bytes [>= 0x80]
+    pass through raw both ways; [\u] escapes above [0x7f] are
+    rejected rather than silently narrowed. *)
 
 val field_int : (string * value) list -> string -> (int, string) result
 (** Look up a required integer field. *)

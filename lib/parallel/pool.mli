@@ -1,0 +1,37 @@
+(** A persistent SPMD worker pool over OCaml 5 domains.
+
+    [create ~workers] spawns [workers - 1] domains that park on a
+    condition variable; {!run} then executes one job on every worker —
+    the calling domain participates as worker [0] — and returns when
+    all of them have finished (a full barrier).  Spawning a domain
+    costs orders of magnitude more than a barrier, so phase-structured
+    algorithms (the tiled engine runs three phases per round) create
+    one pool per run and reuse it for every phase.
+
+    Exceptions raised inside a job do not kill the pool: the first one
+    (by recording order) is captured with its backtrace and re-raised
+    from {!run} on the calling domain after the barrier, so no worker
+    is left mid-phase and {!shutdown} still works.
+
+    The spawned domains are registered with {!Budget}. *)
+
+type t
+
+val create : workers:int -> t
+(** [create ~workers] spawns [workers - 1] parked worker domains.
+    Raises [Invalid_argument] if [workers < 1].  [workers = 1] spawns
+    nothing; {!run} then just calls the job inline. *)
+
+val size : t -> int
+(** The total worker count, including the calling domain. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t job] executes [job i] once for every [i] in
+    [0 .. size t - 1], worker [0] on the calling domain, and waits for
+    all of them.  If any job raised, the first captured exception is
+    re-raised here with its original backtrace.  Must not be called
+    after {!shutdown}, nor reentrantly from inside a job. *)
+
+val shutdown : t -> unit
+(** Joins the spawned domains and releases their {!Budget}
+    registration.  Idempotent. *)

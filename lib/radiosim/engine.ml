@@ -64,6 +64,7 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
   let jammed =
     match faults with
     | None -> fun _ -> false
+    | Some plan when not (Faults.Plan.has_jams plan) -> fun _ -> false
     | Some plan -> fun v -> Faults.Plan.jammed plan ~node:v ~round:!round
   in
   (match incidence with

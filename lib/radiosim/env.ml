@@ -1,5 +1,6 @@
 type ('input, 'output) t = {
   name : string;
+  pure_inputs : bool;
   inputs : round:int -> node:int -> 'input list;
   notify : round:int -> node:int -> 'output list -> unit;
 }
@@ -7,6 +8,7 @@ type ('input, 'output) t = {
 let null ~name () =
   {
     name;
+    pure_inputs = true;
     inputs = (fun ~round:_ ~node:_ -> []);
     notify = (fun ~round:_ ~node:_ _ -> ());
   }
@@ -17,4 +19,4 @@ let scripted ~name events =
       (fun (r, v, input) -> if r = round && v = node then Some input else None)
       events
   in
-  { name; inputs; notify = (fun ~round:_ ~node:_ _ -> ()) }
+  { name; pure_inputs = true; inputs; notify = (fun ~round:_ ~node:_ _ -> ()) }

@@ -9,6 +9,16 @@
 
 type ('input, 'output) t = {
   name : string;
+  pure_inputs : bool;
+      (** [true] promises that [inputs] has no observable side effects
+          and its result depends only on [(round, node)] — not on how
+          often, in what order, or from which domain it is polled.
+          The tiled engine ({!Tiled}) then lets worker domains poll
+          their own tiles' inputs concurrently; with [false] it polls
+          nodes serially in ascending order on one domain, exactly
+          like {!Engine.run}.  Stateful environments (the localcast
+          environments advance their automaton inside [inputs]) must
+          say [false]. *)
   inputs : round:int -> node:int -> 'input list;
   notify : round:int -> node:int -> 'output list -> unit;
 }

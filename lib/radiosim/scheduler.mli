@@ -41,7 +41,14 @@ val fill_active_sparse : t -> round:int -> m:int -> int array -> int
     smaller than [m] — constant/periodic schedulers and
     {!bernoulli_sparse} — emit the set directly in time proportional to
     its size, instead of resolving all [m] edges.  Raises
-    [Invalid_argument] if [m < 0] or [buf] is shorter than [m]. *)
+    [Invalid_argument] if [m < 0] or [buf] is shorter than [m].
+
+    Domain safety: both engines resolve the activation set exactly once
+    per round from a single domain ({!Tiled.run} does so on its
+    coordinator, never from tile workers), so a scheduler needs no
+    internal synchronization — but see {!bernoulli_sparse} for why one
+    [t] value must still not be shared across concurrently running
+    engine instances. *)
 
 val resolves_sparsely : t -> bool
 (** Whether {!fill_active_sparse} does work proportional to the emitted

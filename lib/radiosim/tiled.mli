@@ -1,0 +1,84 @@
+(** Domain-parallel tiled execution of the synchronous engine.
+
+    The field is partitioned into spatial tiles ({!Dualgraph.Tile});
+    each round runs as three SPMD phases over a persistent domain pool
+    ({!Parallel.Pool}), with the calling domain doubling as tile 0's
+    worker and as the coordinator for everything that must stay
+    serial:
+
+    + {b decide} — each tile polls inputs (when the environment is
+      {!Env.pure_inputs}), steps its own nodes' [decide], and records
+      its transmitters;
+    + {b push} — each tile's transmitters push along their reliable
+      CSR slice and the round's active unreliable adjacency.
+      Receptions for listeners the tile owns land directly in the
+      shared per-listener accumulator; receptions for foreign
+      listeners are appended to a per-(source, destination) tile
+      outbox — the {e halo exchange};
+    + {b absorb} — each tile drains the outboxes addressed to it in
+      ascending source-tile order, then computes its own nodes'
+      delivery results and steps [absorb].
+
+    Between phases the coordinator runs the serial spine in exactly
+    {!Engine.run}'s order: fault transitions, impure input polling,
+    scheduler activation + adjacency build, event emission, [notify],
+    observer and stop.
+
+    {b Determinism.}  The produced trace — round records, event
+    stream, metrics — is bit-identical to {!Engine.run}'s under
+    {e any} tile count.  Two facts carry the argument: (a) a
+    listener's reception outcome is a commutative-monoid fold of the
+    multiset of transmissions reaching it (0 → silence, 1 → the
+    message, ≥2 → collision), so the order in which local pushes and
+    drained halo pushes arrive cannot change it; and (b) every
+    trace-visible serialization — event order, [notify] order, record
+    layout — is produced by the coordinator scanning global state in
+    ascending node order, never in tile order.  DESIGN.md §10 gives
+    the full argument; the property suite checks it against both
+    {!Engine.run} and {!Engine.run_reference} at several tile counts.
+
+    {b Requirements.}  Node processes must be {e node-independent}:
+    [decide]/[absorb] closures may touch only their own node's state
+    (true of every process in this repository — each draws from its
+    own RNG).  Environments are consulted from worker domains only
+    when they declare {!Env.pure_inputs}.
+
+    Per-node hot state (liveness, on-air bits, reception
+    accumulators) lives in flat [Bytes] / [Bigarray] pools rather
+    than boxed per-node records, so a 10⁶-node field costs a few
+    dozen bytes per node and the GC never scans the hot arrays. *)
+
+val default_tiles : unit -> int
+(** [1 + Parallel.Budget.suggested_extra ()] — the tile count {!run}
+    uses when [?tiles] is omitted: one tile per domain the machine can
+    still absorb.  1 on a single-core host or when the budget is
+    already consumed (e.g. inside a [trials_par] worker). *)
+
+val run :
+  ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
+  ?stop:(('msg, 'input, 'output) Trace.round_record -> bool) ->
+  ?sink:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?faults:Faults.Plan.t ->
+  ?revive:(node:int -> round:int -> ('msg, 'input, 'output) Process.node) ->
+  ?tiles:int ->
+  dual:Dualgraph.Dual.t ->
+  scheduler:Scheduler.t ->
+  nodes:('msg, 'input, 'output) Process.node array ->
+  env:('input, 'output) Env.t ->
+  rounds:int ->
+  unit ->
+  int
+(** Like {!Engine.run}, executed over [tiles] tiles on as many domains
+    (default {!default_tiles}; values are clamped to the vertex
+    count).  [tiles = 1] delegates to {!Engine.run} outright — the
+    single-domain path {e is} the sequential engine, not a parallel
+    code path with one worker.  Returns the number of rounds
+    executed.
+
+    An exception raised by a process on any worker domain is
+    re-raised here with its backtrace after the in-flight phase
+    barrier completes, and the pool is torn down.
+
+    @raise Invalid_argument on the same conditions as {!Engine.run},
+    or if [tiles < 1]. *)

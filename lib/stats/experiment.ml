@@ -29,24 +29,48 @@ let trials_par ?(domains = 1) ~seed ~n f =
     let results = Array.make n None in
     let chunk = max 1 (n / (workers * 8)) in
     let cursor = Atomic.make 0 in
+    (* Failure protocol: the first trial to raise parks its exception
+       (with backtrace) in [failure] and flips [poisoned]; every worker
+       checks the flag per claim and per trial, so the remaining chunks
+       are abandoned quickly but no worker is left unjoined.  Workers
+       themselves never exit exceptionally — the capture is re-raised
+       on the calling domain after all joins, preserving the original
+       backtrace instead of the mangled one [Domain.join] forwards. *)
+    let poisoned = Atomic.make false in
+    let failure = Atomic.make None in
     let rec worker () =
-      let lo = Atomic.fetch_and_add cursor chunk in
-      if lo < n then begin
-        let hi = min n (lo + chunk) in
-        for trial = lo to hi - 1 do
-          results.(trial) <- Some (f ~trial ~seed:(derived_seed ~seed ~trial))
-        done;
-        worker ()
+      if not (Atomic.get poisoned) then begin
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo < n then begin
+          let hi = min n (lo + chunk) in
+          (try
+             let trial = ref lo in
+             while !trial < hi && not (Atomic.get poisoned) do
+               let t = !trial in
+               results.(t) <- Some (f ~trial:t ~seed:(derived_seed ~seed ~trial:t));
+               incr trial
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             if Atomic.compare_and_set failure None (Some (e, bt)) then ();
+             Atomic.set poisoned true);
+          worker ()
+        end
       end
     in
     (* The spawning domain participates too. *)
     let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    Parallel.Budget.note_spawned (workers - 1);
     worker ();
     List.iter Domain.join spawned;
-    List.init n (fun trial ->
-        match results.(trial) with
-        | Some r -> r
-        | None -> assert false (* the cursor covers every index exactly once *))
+    Parallel.Budget.note_joined (workers - 1);
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        List.init n (fun trial ->
+            match results.(trial) with
+            | Some r -> r
+            | None -> assert false (* the cursor covers every index exactly once *))
   end
 
 let count p l = List.length (List.filter p l)

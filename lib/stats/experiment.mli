@@ -25,7 +25,17 @@ val trials_par :
     domain.  [f] therefore runs concurrently with itself and must not
     share mutable state across trials; make each trial return its
     measurements and aggregate over the result list instead.  Raises
-    [Invalid_argument] if [domains < 1]. *)
+    [Invalid_argument] if [domains < 1].
+
+    If a trial raises, the first such exception (in completion order)
+    is re-raised here on the calling domain with its original
+    backtrace; the remaining trials are abandoned as soon as the
+    workers observe the failure, and every worker domain is still
+    joined before the re-raise — no chunk cursor deadlock, no
+    swallowed exception.  The spawned worker domains are registered
+    with {!Parallel.Budget} for their lifetime, so nested parallel
+    sections (e.g. a tiled engine run inside a trial) size their
+    defaults against the remaining capacity. *)
 
 val count : ('a -> bool) -> 'a list -> int
 

@@ -30,6 +30,12 @@ let percentile sorted q =
 let of_array samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  (* NaNs must be rejected, not sorted: [Float.compare] orders them
+     below every number, so a single NaN would silently poison [min],
+     [mean] and [stddev] while the percentiles kept looking sane. *)
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Summary.of_array: NaN sample")
+    samples;
   let sorted = Array.copy samples in
   Array.sort Float.compare sorted;
   let total = Array.fold_left ( +. ) 0.0 sorted in

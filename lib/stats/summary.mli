@@ -18,6 +18,14 @@ type t = {
 val of_list : float list -> t
 
 val of_array : float array -> t
+(** Raises [Invalid_argument] on an empty array and on any NaN sample:
+    [Float.compare] sorts NaNs below every number, so accepting them
+    would silently poison [min]/[mean]/[stddev] while the percentiles
+    still looked plausible.  Callers with possibly-NaN measurements
+    must filter (and account for the drops) before summarizing.
+    Infinities are accepted — they order correctly and show up loudly.
+    [of_list] and [of_ints] route through here and share the
+    contract. *)
 
 val of_ints : int list -> t
 

@@ -201,6 +201,55 @@ let test_grid_neighborhood_covers () =
     (Invalid_argument "Grid.create: cell size must be positive") (fun () ->
       ignore (Grid.create ~cell:0.0 emb))
 
+(* Points exactly on the bounding box's right/top edge sit at
+   (max - min) / cell = cols exactly; the cell index must be clamped
+   into the last column/row, not fall off the grid.  Regression for the
+   boundary case, exercised with cell sizes that divide the extent
+   evenly (where the quotient is exact) and ones that don't. *)
+let test_grid_boundary_clamped () =
+  List.iter
+    (fun cell ->
+      let pts =
+        [|
+          { E.x = 0.0; y = 0.0 };
+          { E.x = 4.0; y = 0.0 };      (* right edge *)
+          { E.x = 0.0; y = 4.0 };      (* top edge *)
+          { E.x = 4.0; y = 4.0 };      (* corner *)
+          { E.x = 2.0; y = 4.0 };
+          { E.x = 4.0; y = 1.7 };
+        |]
+      in
+      let emb = E.create pts in
+      let grid = Grid.create ~cell emb in
+      let cols = Grid.cols grid and rows = Grid.rows grid in
+      Array.iteri
+        (fun v _ ->
+          let c = Grid.cell_index grid v in
+          checkb
+            (Printf.sprintf "cell %.2f: vertex %d index %d in range" cell v c)
+            true
+            (c >= 0 && c < cols * rows);
+          (* Clamping must land edge points in the *last* column/row, so
+             the 3x3 neighborhood still covers their true neighbors. *)
+          let col = c mod cols and row = c / cols in
+          let { E.x; y } = E.point emb v in
+          if x >= 4.0 then checki "right edge in last column" (cols - 1) col;
+          if y >= 4.0 then checki "top edge in last row" (rows - 1) row)
+        pts;
+      (* Coverage still holds across the boundary: corner (4,4) and
+         mid-top (2,4) see each other when within one cell side. *)
+      for u = 0 to Array.length pts - 1 do
+        let seen = Array.make (Array.length pts) false in
+        Grid.iter_neighborhood grid u (fun v -> seen.(v) <- true);
+        Array.iteri
+          (fun v _ ->
+            if E.vertex_distance emb u v <= cell then
+              checkb (Printf.sprintf "cell %.2f: %d covers %d" cell u v) true
+                seen.(v))
+          pts
+      done)
+    [ 1.0; 2.0; 4.0; 0.4; 1.3 ]
+
 (* --- Dual --- *)
 
 let test_dual_subset_enforced () =
@@ -587,6 +636,7 @@ let suite =
       ("graph of_sorted_arrays", test_graph_of_sorted_arrays);
       ("graph csr layout", test_graph_csr_layout);
       ("grid neighborhood covers", test_grid_neighborhood_covers);
+      ("grid boundary clamped", test_grid_boundary_clamped);
       ("graph iter/fold neighbors", test_graph_iter_fold_neighbors);
       ("graph mem_edge out of range", test_graph_mem_edge_out_of_range);
       ("graph union overlap", test_graph_union_overlap);

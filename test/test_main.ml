@@ -27,4 +27,5 @@ let () =
       ("golden-traces", Test_golden.suite);
       ("printers", Test_printers.suite);
       ("stats", Test_stats.suite);
+      ("tiled-engine", Test_tiled.suite);
     ]

@@ -540,7 +540,72 @@ let test_service_obs_matches_spec () =
   | None -> checki "ack histogram empty means no acks" 0 report.L.Lb_spec.ack_count);
   checkb "no events dropped" true (Sink.dropped sink = 0)
 
-let qcheck_cases = [ audit_equivalence_property ]
+(* --- string codec: escape must be exactly invertible --- *)
+
+module J = Obs.Json
+
+let parse_single_string line =
+  match J.parse_flat line with
+  | Ok [ ("k", J.Str s) ] -> Ok s
+  | Ok fields -> Error (Printf.sprintf "unexpected fields (%d)" (List.length fields))
+  | Error e -> Error e
+
+let roundtrip_string s =
+  parse_single_string (Printf.sprintf "{\"k\":\"%s\"}" (J.escape s))
+
+let test_codec_all_bytes () =
+  (* Every byte, alone and in context, survives escape → parse. *)
+  for b = 0 to 255 do
+    let probe = Printf.sprintf "a%cb" (Char.chr b) in
+    match roundtrip_string probe with
+    | Ok s ->
+        checkb (Printf.sprintf "byte 0x%02x round-trips" b) true
+          (String.equal s probe)
+    | Error e -> Alcotest.failf "byte 0x%02x: %s" b e
+  done
+
+let test_codec_u_escape_exactness () =
+  (* The \uXXXX parser must accept exactly what escape emits — four hex
+     digits, either case — and nothing looser.  int_of_string-style
+     leniency (underscores, 0x prefixes) silently changed bytes before
+     re-emission, which is what this pins down. *)
+  let accepted =
+    [ ("{\"k\":\"\\u0041\"}", "A"); ("{\"k\":\"\\u000b\"}", "\011");
+      ("{\"k\":\"\\u000B\"}", "\011"); ("{\"k\":\"\\u007F\"}", "\127");
+      ("{\"k\":\"\\b\"}", "\b"); ("{\"k\":\"\\f\"}", "\012") ]
+  in
+  List.iter
+    (fun (line, want) ->
+      match parse_single_string line with
+      | Ok s -> checkb (Printf.sprintf "%s decodes" line) true (String.equal s want)
+      | Error e -> Alcotest.failf "%s rejected: %s" line e)
+    accepted;
+  let rejected =
+    [ "{\"k\":\"\\u0_41\"}";        (* underscore leniency *)
+      "{\"k\":\"\\u1_23\"}";
+      "{\"k\":\"\\u0x12\"}";        (* radix-prefix leniency *)
+      "{\"k\":\"\\u004\"}";         (* too short *)
+      "{\"k\":\"\\u004g\"}";        (* non-hex digit *)
+      "{\"k\":\"\\u0080\"}";        (* above ASCII: raw bytes only *)
+      "{\"k\":\"\\uFFFF\"}" ]
+  in
+  List.iter
+    (fun line ->
+      match parse_single_string line with
+      | Ok s -> Alcotest.failf "%s wrongly accepted as %S" line s
+      | Error _ -> ())
+    rejected
+
+let codec_roundtrip_property =
+  QCheck.Test.make ~name:"json string codec: escape/parse_flat exact inverse"
+    ~count:500
+    QCheck.(string_gen_of_size Gen.(0 -- 40) Gen.char)
+    (fun s ->
+      match roundtrip_string s with
+      | Ok s' -> String.equal s s'
+      | Error e -> QCheck.Test.fail_reportf "parse failed on %S: %s" s e)
+
+let qcheck_cases = [ audit_equivalence_property; codec_roundtrip_property ]
 
 let suite =
   [
@@ -551,6 +616,9 @@ let suite =
     Alcotest.test_case "jsonl file roundtrip" `Quick test_jsonl_file_roundtrip;
     Alcotest.test_case "parser rejects malformed lines" `Quick
       test_parser_rejections;
+    Alcotest.test_case "string codec: all 256 bytes" `Quick test_codec_all_bytes;
+    Alcotest.test_case "string codec: \\u escape exactness" `Quick
+      test_codec_u_escape_exactness;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
     Alcotest.test_case "metrics artifact escaping" `Quick test_metrics_artifact;
     Alcotest.test_case "audit: timely ack is clean" `Quick test_audit_ack_ok;

@@ -148,6 +148,65 @@ let test_trials_par_edge_cases () =
     (Invalid_argument "Experiment.trials_par: domains must be >= 1") (fun () ->
       ignore (Experiment.trials_par ~domains:0 ~seed:1 ~n:3 (fun ~trial ~seed:_ -> trial)))
 
+exception Trial_failed of int
+
+(* A raising trial must surface on the calling thread — with its
+   backtrace and identity intact, never as a Domain.join artifact or a
+   silent hang — and must not leave worker domains running. *)
+let test_trials_par_failure_propagation () =
+  let run_failing ~domains ~failing =
+    try
+      ignore
+        (Experiment.trials_par ~domains ~seed:9 ~n:20 (fun ~trial ~seed:_ ->
+             if trial = failing then raise (Trial_failed trial);
+             trial));
+      None
+    with Trial_failed t -> Some t
+  in
+  (* Worker-domain failure (trial 13 lands off the main domain's first
+     chunk at domains:4) and main-domain failure (trial 0). *)
+  checkb "worker-domain exception re-raised" true
+    (run_failing ~domains:4 ~failing:13 = Some 13);
+  checkb "main-domain exception re-raised" true
+    (run_failing ~domains:4 ~failing:0 = Some 0);
+  checkb "sequential path too" true (run_failing ~domains:1 ~failing:5 = Some 5);
+  (* After a failed run all domains were joined: the harness is reusable
+     and still bit-identical to the sequential runner. *)
+  let f ~trial ~seed = (trial * 3) + (seed land 7) in
+  checkb "harness intact after failure" true
+    (Experiment.trials_par ~domains:4 ~seed:9 ~n:20 f
+    = Experiment.trials ~seed:9 ~n:20 f)
+
+let test_summary_percentiles_small_n () =
+  (* Nearest-rank-with-interpolation at small n, pinned so refactors of
+     the percentile path can't drift: p99 over 3 samples interpolates
+     inside the top gap, p90 over 10 lands between the 9th and 10th. *)
+  let s3 = Summary.of_list [ 1.0; 2.0; 3.0 ] in
+  checkf "p99 of {1,2,3}" 2.98 s3.Summary.p99;
+  checkf "median of {1,2,3}" 2.0 s3.Summary.median;
+  let s10 = Summary.of_ints (List.init 10 (fun i -> i)) in
+  checkf "p90 of 0..9" 8.1 s10.Summary.p90;
+  checkf "p99 of 0..9" 8.91 s10.Summary.p99;
+  (* Two samples: every percentile is a convex combination of the two. *)
+  let s2 = Summary.of_list [ 10.0; 20.0 ] in
+  checkf "median of pair" 15.0 s2.Summary.median;
+  checkf "p90 of pair" 19.0 s2.Summary.p90
+
+let test_summary_rejects_nan () =
+  (* NaN poisons sort comparisons (Float.compare is total but places NaN
+     arbitrarily relative to the data's intent) and every moment; the
+     contract is to reject at the door. *)
+  List.iter
+    (fun samples ->
+      Alcotest.check_raises "NaN rejected"
+        (Invalid_argument "Summary.of_array: NaN sample") (fun () ->
+          ignore (Summary.of_list samples)))
+    [ [ Float.nan ]; [ 1.0; Float.nan; 3.0 ]; [ Float.nan; Float.nan ] ];
+  (* Infinities are honest samples and pass through. *)
+  let s = Summary.of_list [ 1.0; Float.infinity ] in
+  checkb "inf max" true (s.Summary.max = Float.infinity);
+  checkb "inf mean" true (s.Summary.mean = Float.infinity)
+
 (* The work-stealing runner must stay bit-identical to the sequential
    runner even when per-trial cost is wildly uneven — stragglers shift
    which domain executes which chunk, but results land by trial index
@@ -218,6 +277,9 @@ let suite =
       ("trials seed derivation", test_trials_seed_derivation);
       ("trials_par matches sequential", test_trials_par_matches_sequential);
       ("trials_par edge cases", test_trials_par_edge_cases);
+      ("trials_par failure propagation", test_trials_par_failure_propagation);
+      ("summary percentiles at small n", test_summary_percentiles_small_n);
+      ("summary rejects NaN", test_summary_rejects_nan);
       ("trials_par work stealing uneven load", test_trials_par_work_stealing);
       ("count and time", test_count_and_time);
     ]
