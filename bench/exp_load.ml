@@ -1,0 +1,131 @@
+(* Experiment E22: the serving engine under rate x burstiness x policy.
+
+   The open-loop sweep: three arrival shapes (memoryless Poisson, on/off
+   bursts at the same time-averaged rate, hotspot rate skew) crossed
+   with the three backpressure policies, at offered loads from half the
+   flooding capacity to 4x past it.  Runs on the synthetic Sim channel
+   (ring degree 8, relay 1 round, ack 2 rounds — capacity ~0.5
+   completable messages/round), which isolates the queueing and
+   shedding dynamics from MAC latency; E15 covers the full MAC stack.
+
+   Expected shape: below capacity every policy completes nearly
+   everything and the policies are indistinguishable; past capacity
+   goodput plateaus at the channel's completable rate while the
+   policies choose WHO loses — drop-tail sheds relays mid-flood
+   (coverage failures, expiries), source-throttle rejects at admission
+   (fewer pool slots wasted on doomed messages, so the plateau holds
+   higher), and drop-newest favors older messages (lower delivery p99
+   among completions, fewer but older survivors).  Bursty arrivals at
+   the same average rate degrade earlier (queues overflow during
+   bursts); hotspot skew bottlenecks the hot nodes' single MAC
+   endpoint. *)
+
+open Core
+open Exp_common
+module Serve = Macapps.Serve
+module Workload = Macapps.Workload
+module Table = Stats.Table
+
+let rates = [ 0.25; 0.5; 1.0; 2.0 ]
+
+let policies = [ Serve.Drop_tail; Serve.Drop_newest; Serve.Source_throttle ]
+
+let process_of ~rate = function
+  | "poisson" -> Workload.Poisson { rate }
+  | "bursty" -> Workload.Bursty { rate; on_mean = 50.0; off_mean = 150.0 }
+  | "hotspot" -> Workload.Hotspot { rate; hot_fraction = 0.1; hot_share = 0.7 }
+  | s -> invalid_arg ("E22: unknown process " ^ s)
+
+let cell ~rate ~policy ~shape ~trials ~rounds ~salt =
+  let samples =
+    run_trials ~salt ~n:trials (fun ~trial:_ ~seed ->
+        let workload =
+          Workload.create ~process:(process_of ~rate shape) ~n:64 ~seed ()
+        in
+        let config =
+          Serve.config ~queue_cap:16 ~max_inflight:4096 ~ttl:500 ~policy
+            ~ack_deadline:12 ()
+        in
+        let sim =
+          Serve.Sim.create ~config ~n:64 ~degree:8 ~relay_delay:1 ~ack_delay:2
+            ()
+        in
+        let r = Serve.Sim.run sim ~workload ~rounds () in
+        if r.Serve.audit <> [] then
+          failwith
+            ("E22: conservation audit failed: "
+            ^ String.concat "; " r.Serve.audit);
+        ( r.Serve.goodput,
+          float_of_int r.Serve.completed /. float_of_int (max 1 r.Serve.admitted),
+          float_of_int r.Serve.rejected /. float_of_int (max 1 r.Serve.arrivals),
+          r.Serve.delivery_p99,
+          float_of_int r.Serve.max_queue_depth ))
+  in
+  let dim f = Stats.Summary.mean (List.map f samples) in
+  let goodput = dim (fun (g, _, _, _, _) -> g) in
+  let served = dim (fun (_, s, _, _, _) -> s) in
+  let rejected = dim (fun (_, _, r, _, _) -> r) in
+  let p99s =
+    List.filter_map
+      (fun (_, _, _, p, _) -> if Float.is_nan p then None else Some p)
+      samples
+  in
+  let p99 =
+    if p99s = [] then Float.nan else Stats.Summary.mean p99s
+  in
+  let depth = dim (fun (_, _, _, _, d) -> d) in
+  (goodput, served, rejected, p99, depth)
+
+let run () =
+  section "E22: serving under rate x burstiness x backpressure policy";
+  note
+    "Sim channel n=64 (ring degree 8, relay 1, ack 2; flooding capacity\n\
+     ~0.5 msg/round).  Offered rates sweep 0.5x to 4x capacity; every\n\
+     cell audits conservation exactly.";
+  let trials = trials_scaled 4 in
+  let rounds = if !quick then 8_000 else 40_000 in
+  List.iter
+    (fun shape ->
+      let table =
+        Table.create
+          ~title:(Printf.sprintf "E22: %s arrivals (n=64, %d rounds)" shape rounds)
+          ~columns:
+            [ "rate"; "policy"; "goodput/round"; "completed/admitted";
+              "rejected frac"; "delivery p99"; "max depth" ]
+      in
+      List.iteri
+        (fun ri rate ->
+          List.iteri
+            (fun pi policy ->
+              let salt =
+                 (match shape with
+                  | "poisson" -> 2200
+                  | "bursty" -> 2300
+                  | _ -> 2400)
+                + (ri * 10) + pi
+              in
+              let goodput, served, rejected, p99, depth =
+                cell ~rate ~policy ~shape ~trials ~rounds ~salt
+              in
+              Table.add_row table
+                [
+                  Table.cell_float ~decimals:2 rate;
+                  Serve.policy_to_string policy;
+                  Table.cell_float ~decimals:4 goodput;
+                  Table.cell_float ~decimals:4 served;
+                  Table.cell_float ~decimals:4 rejected;
+                  (if Float.is_nan p99 then "-"
+                   else Table.cell_float ~decimals:0 p99);
+                  Table.cell_float ~decimals:0 depth;
+                ])
+            policies)
+        rates;
+      Table.print table)
+    [ "poisson"; "bursty"; "hotspot" ];
+  note
+    "Expected: near-identical policies below capacity; past it, goodput\n\
+     plateaus at the channel cap and the policies pick the loss site —\n\
+     source-throttle rejects at admission (nonzero rejected frac, higher\n\
+     completed/admitted), drop-tail/drop-newest shed relays instead.\n\
+     Bursty arrivals lose more at equal average rate; hotspot load\n\
+     queues at the hot nodes' endpoints.\n"

@@ -11,17 +11,20 @@
      E12     region goodness and leader counts (Appendix B)
      E13     oblivious vs adaptive link scheduling ([11])
      E14     loose coordination vs a global-seed oracle (ablation)
-     E15     sustained throughput vs offered load
+     E15     sustained throughput vs offered load (open-loop workloads)
      E16     near-optimality demos (Ω(log Δ) progress, Ω(Δ) ack)
      E17     SeedAlg vs gossip seed agreement (baseline)
      E18     physical-layer flood vs MAC-layer flood
      E19     the geographic parameter r
      E20     crash/restart churn: ack-driven recovery vs a fixed budget
      E21     tiled engine at scale: flat per-node cost to n = 10^6
+     E22     multi-message serving under rate x burstiness x policy
      obs     observability layer: event stream, metrics artifact, and the
              online auditor cross-checked against Lb_spec (writes
              BENCH_obs.json and BENCH_obs_events.jsonl)
      micro   Bechamel micro-benchmarks M1-M9 (also writes BENCH_micro.json)
+     service serving-engine benchmarks M10-M11 + the 10^6-arrival load
+             acceptance run (writes BENCH_service.json)
 
    Usage:
      dune exec bench/main.exe                # everything, full trials
@@ -47,8 +50,10 @@ let groups : (string * (unit -> unit)) list =
     ("e19", Exp_geo.run);
     ("e20", Exp_churn.run);
     ("e21", Exp_scale.run);
+    ("e22", Exp_load.run);
     ("obs", Exp_obs.run);
     ("micro", Micro.run);
+    ("service", Exp_service.run);
   ]
 
 let group_for token =
@@ -71,7 +76,8 @@ let () =
       ( "--only",
         Arg.String (fun s -> only := s :: !only),
         "GROUP run only this experiment group (e1-e4, e5-e7, e8, e9, e10, e11, \
-         e12, e13, e14, e15, e16, e17, e18, e19, e20, obs, micro); repeatable" );
+         e12, e13, e14, e15, e16, e17, e18, e19, e20, e21, e22, obs, micro, \
+         service); repeatable" );
       ("--quick", Arg.Set Exp_common.quick, " reduced trial counts");
       ( "--domains",
         Arg.Int

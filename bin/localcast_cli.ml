@@ -8,6 +8,7 @@
      trace  — print a round-by-round execution transcript
      verify — CI-style specification check, non-zero exit on failure
      scale-smoke — tiled engine at size, with a tiling-invariant trace hash
+     serve  — open-loop multi-message serving over the MAC (load smoke)
 
    Every run is a pure function of --seed, so reported numbers are
    reproducible. *)
@@ -685,6 +686,111 @@ let verify_cmd =
       const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
       $ width_arg $ r_arg $ gray_arg $ eps_arg $ load_arg)
 
+(* --- serve: the open-loop multi-message serving engine --- *)
+
+let serve_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "poisson:0.002"
+      & info [ "workload" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process: poisson:RATE, bursty:RATE:ON_MEAN:OFF_MEAN or \
+             hotspot:RATE:HOT_FRACTION:HOT_SHARE (RATE in messages per round, \
+             network-wide; see docs/LOAD.md).")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "drop-tail"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Backpressure policy: drop-tail, drop-newest or source-throttle.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 40_000
+      & info [ "rounds" ] ~docv:"INT" ~doc:"Number of rounds to serve.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "queue-cap" ] ~docv:"INT" ~doc:"Per-node relay queue bound.")
+  in
+  let inflight_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "max-inflight" ] ~docv:"INT"
+          ~doc:"Slot pool size: admission cap on concurrently live messages.")
+  in
+  let ttl_arg =
+    Arg.(
+      value & opt int 30_000
+      & info [ "ttl" ] ~docv:"INT"
+          ~doc:"Rounds a message may live before it is expired.")
+  in
+  let run topology scheduler link_p seed n width r gray eps load workload policy
+      rounds queue_cap max_inflight ttl =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    let n = Dual.n dual in
+    Format.printf "%a@." Dual.pp dual;
+    let process =
+      match Macapps.Workload.parse workload with
+      | Ok p -> p
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+    in
+    let policy =
+      match Macapps.Serve.parse_policy policy with
+      | Ok p -> p
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+    in
+    let params = L.Params.of_dual ~eps1:eps ~tack_phases:2 dual in
+    let config =
+      Macapps.Serve.config ~queue_cap ~max_inflight ~ttl ~policy ()
+    in
+    let wl = Macapps.Workload.create ~process ~n ~seed () in
+    Format.printf
+      "serving %a under %a for %d rounds (f_ack = %d rounds)@."
+      Macapps.Workload.pp_process process Macapps.Serve.pp_policy policy rounds
+      (L.Params.t_ack_rounds params);
+    let report =
+      Macapps.Serve.run ~config ~workload:wl ~params
+        ~rng:(Prng.Rng.of_int (seed + 1))
+        ~dual
+        ~scheduler:(make_scheduler scheduler ~seed ~p:link_p)
+        ~rounds ()
+    in
+    Format.printf "%a@." Macapps.Serve.pp_report report;
+    (* CI-style gating: a serving run must conserve messages exactly and
+       actually complete something *)
+    if report.Macapps.Serve.audit <> [] then begin
+      List.iter
+        (fun s -> Format.printf "FAIL: audit: %s@." s)
+        report.Macapps.Serve.audit;
+      exit 1
+    end;
+    if report.Macapps.Serve.completed = 0 then begin
+      Format.printf
+        "FAIL: zero goodput (no message completed; raise --ttl or lower the \
+         offered rate)@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve an open-loop multi-message workload over the abstract MAC \
+          layer and print the serving report (admission, completion, \
+          latency percentiles, queue depths, allocation probe).  Exits \
+          non-zero if the conservation audit fails or nothing completes \
+          (CI-style).")
+    Term.(
+      const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
+      $ width_arg $ r_arg $ gray_arg $ eps_arg $ load_arg $ workload_arg
+      $ policy_arg $ rounds_arg $ queue_cap_arg $ inflight_arg $ ttl_arg)
+
 let () =
   let doc = "Local broadcast layer for unreliable (dual graph) radio networks" in
   exit
@@ -692,4 +798,4 @@ let () =
        (Cmd.group
           (Cmd.info "localcast" ~doc)
           [ topo_cmd; seed_cmd; run_cmd; flood_cmd; trace_cmd; verify_cmd;
-            scale_cmd ]))
+            scale_cmd; serve_cmd ]))

@@ -76,9 +76,30 @@ let request t ~node ~tag =
 let f_prog t = Params.t_prog_rounds t.params
 let f_ack t = Params.t_ack_rounds t.params
 
-let run ?observer ?stop ?sink ?metrics ?faults ?revive t ~scheduler ~rounds =
+let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tick t ~scheduler ~rounds
+    =
   if t.started then invalid_arg "Mac.run: already run";
   t.started <- true;
+  let env =
+    match tick with
+    | None -> t.env
+    | Some tick ->
+        (* Fire once at the top of each round, when the engine polls the
+           round's first live node for inputs — before that node's queued
+           bcast (if any) is popped, so a request made inside the tick is
+           seen by every node's poll of the same round. *)
+        let last = ref (-1) in
+        {
+          t.env with
+          Radiosim.Env.inputs =
+            (fun ~round ~node ->
+              if round > !last then begin
+                last := round;
+                tick ~round
+              end;
+              t.env.Radiosim.Env.inputs ~round ~node);
+        }
+  in
   let observer =
     match sink with
     | None -> observer
@@ -93,4 +114,4 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive t ~scheduler ~rounds =
         Some f
   in
   Radiosim.Engine.run ?observer ?stop ?sink ?metrics ?faults ?revive
-    ~dual:t.dual ~scheduler ~nodes:t.nodes ~env:t.env ~rounds ()
+    ~dual:t.dual ~scheduler ~nodes:t.nodes ~env ~rounds ()

@@ -63,12 +63,21 @@ val run :
     (node:int ->
     round:int ->
     (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Process.node) ->
+  ?tick:(round:int -> unit) ->
   t ->
   scheduler:Radiosim.Scheduler.t ->
   rounds:int ->
   int
 (** Drive the network for up to [rounds] rounds (callbacks fire as events
     happen); returns rounds executed.  May only be called once per [t].
+
+    [tick] fires once at the top of every round, before any node's
+    queued bcast is popped — the hook open-loop workload drivers
+    ({!Macapps.Serve}) use to inject this round's arrivals: a
+    {!request} made inside the tick is delivered to the MAC in the same
+    round, deterministically, for every node.  (Under a fault plan the
+    tick rides the first {e live} node's input poll; a round in which
+    every node is dead has no tick.)
     [sink] receives the engine's structural events interleaved with the
     {!Lb_obs}-translated protocol events, as in {!Service.run}; when
     [metrics] is also given the conventional instruments (see

@@ -1,0 +1,71 @@
+(** Open-loop arrival workloads for the multi-message serving engine.
+
+    A workload assigns every (node, round) pair a number of fresh
+    message {e arrivals} — the offered load the serving layer must
+    admit, queue or shed.  Three canonical shapes:
+
+    - [Poisson]: each node draws an independent Poisson count with the
+      network rate split evenly — the memoryless baseline.
+    - [Bursty]: a per-node on/off modulator (geometric on and off period
+      lengths) gates a Poisson process whose on-rate is scaled up so the
+      {e time-averaged} offered load still equals [rate] — the same
+      load, concentrated into bursts.
+    - [Hotspot]: a seed-chosen fraction of nodes carries a
+      disproportionate share of the offered load (rate skew), the rest
+      split the remainder — the many-users-few-talkers shape.
+
+    Determinism is the point: arrivals at node [v] are a pure function
+    of [(seed, v, round)] — per-node streams are derived independently
+    (SplitMix-style finalizer), so the plan is {e order-independent}:
+    any interleaving of nodes, any split of nodes across domains, and
+    any round skipping produce bit-identical counts (QCheck-enforced in
+    [test/test_serve.ml]).  The only constraint is per-node round
+    monotonicity, which the bursty modulator's cursor needs.
+
+    {!arrivals} allocates nothing: all state lives in preallocated flat
+    arrays, and the draws use an inline 63-bit finalizer rather than a
+    boxed [int64] generator — the serving loop calls it every round. *)
+
+type process =
+  | Poisson of { rate : float }
+      (** [rate]: expected arrivals per round, whole network. *)
+  | Bursty of { rate : float; on_mean : float; off_mean : float }
+      (** Per-node on/off gating with geometric period lengths of the
+          given means (rounds, ≥ 1); time-averaged offered load is
+          [rate] per round network-wide. *)
+  | Hotspot of { rate : float; hot_fraction : float; hot_share : float }
+      (** About [hot_fraction] of nodes (seed-chosen, at least one)
+          carry [hot_share] of the offered load. *)
+
+val pp_process : Format.formatter -> process -> unit
+
+val parse : string -> (process, string) result
+(** CLI grammar (docs/LOAD.md): ["poisson:RATE"],
+    ["bursty:RATE:ON_MEAN:OFF_MEAN"],
+    ["hotspot:RATE:HOT_FRACTION:HOT_SHARE"].  Parameters are validated
+    the same way {!create} validates them, so an [Ok] process is always
+    accepted by {!create}. *)
+
+val process_to_string : process -> string
+(** Inverse of {!parse}. *)
+
+type t
+
+val create : process:process -> n:int -> seed:int -> unit -> t
+(** Instantiate for [n] nodes.  Raises [Invalid_argument] on
+    negative/non-finite rates, means < 1, or fractions outside
+    [\[0, 1\]]. *)
+
+val process : t -> process
+
+val n : t -> int
+
+val arrivals : t -> node:int -> round:int -> int
+(** Arrival count for the pair.  Rounds must be non-decreasing per node
+    ([Invalid_argument] otherwise); across nodes any order is fine and
+    changes nothing.  Counts are capped at 64 per (node, round) so the
+    draw budget is fixed.  O(expected count), allocation-free. *)
+
+val hot : t -> node:int -> bool
+(** Whether the node is in the hotspot set ([false] for the other
+    processes). *)

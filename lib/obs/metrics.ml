@@ -2,11 +2,17 @@ type counter = { mutable count : int }
 
 type gauge = { mutable value : float }
 
-type histogram = {
+type raw = {
   mutable nodes : int array;  (** -1 = unattributed *)
   mutable values : float array;
   mutable len : int;
 }
+
+(* Raw keeps every sample (per-node breakdowns, exact percentiles);
+   Bounded folds samples into a Stats.Quantile log-histogram — O(1)
+   memory however long the run, which is what long-horizon serving runs
+   register (docs/LOAD.md). *)
+type histogram = Raw of raw | Bounded of Stats.Quantile.t
 
 type metric =
   | Counter of counter
@@ -53,27 +59,47 @@ let gauge_value g = g.value
 let histogram t name =
   match
     register t name
-      (fun () -> Histogram { nodes = [||]; values = [||]; len = 0 })
+      (fun () -> Histogram (Raw { nodes = [||]; values = [||]; len = 0 }))
       "histogram"
   with
-  | Histogram h -> h
+  | Histogram (Raw _ as h) -> h
+  | Histogram (Bounded _) ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S is a bounded histogram" name)
   | Counter _ | Gauge _ ->
       invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
 
+let bounded_histogram ?sub ?lo ?hi t name =
+  match
+    register t name
+      (fun () -> Histogram (Bounded (Stats.Quantile.create ?sub ?lo ?hi ())))
+      "bounded histogram"
+  with
+  | Histogram (Bounded _ as h) -> h
+  | Histogram (Raw _) ->
+      invalid_arg
+        (Printf.sprintf "Metrics.bounded_histogram: %S is a raw histogram" name)
+  | Counter _ | Gauge _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics.bounded_histogram: %S is not a histogram" name)
+
 let observe ?(node = -1) h v =
-  let cap = Array.length h.values in
-  if h.len = cap then begin
-    let fresh_cap = max 64 (2 * cap) in
-    let values = Array.make fresh_cap 0.0 in
-    let nodes = Array.make fresh_cap (-1) in
-    Array.blit h.values 0 values 0 h.len;
-    Array.blit h.nodes 0 nodes 0 h.len;
-    h.values <- values;
-    h.nodes <- nodes
-  end;
-  h.values.(h.len) <- v;
-  h.nodes.(h.len) <- node;
-  h.len <- h.len + 1
+  match h with
+  | Bounded q -> Stats.Quantile.observe q v
+  | Raw h ->
+      let cap = Array.length h.values in
+      if h.len = cap then begin
+        let fresh_cap = max 64 (2 * cap) in
+        let values = Array.make fresh_cap 0.0 in
+        let nodes = Array.make fresh_cap (-1) in
+        Array.blit h.values 0 values 0 h.len;
+        Array.blit h.nodes 0 nodes 0 h.len;
+        h.values <- values;
+        h.nodes <- nodes
+      end;
+      h.values.(h.len) <- v;
+      h.nodes.(h.len) <- node;
+      h.len <- h.len + 1
 
 type summary = {
   count : int;
@@ -110,9 +136,29 @@ let summary_of_samples samples =
       }
   end
 
-let summary h = summary_of_samples (Array.sub h.values 0 h.len)
+let summary h =
+  match h with
+  | Raw h -> summary_of_samples (Array.sub h.values 0 h.len)
+  | Bounded q ->
+      let module Q = Stats.Quantile in
+      if Q.count q = 0 then None
+      else
+        Some
+          {
+            count = Q.count q;
+            sum = Q.sum q;
+            min = Q.min_value q;
+            max = Q.max_value q;
+            mean = Q.mean q;
+            p50 = Q.quantile q 0.50;
+            p90 = Q.quantile q 0.90;
+            p99 = Q.quantile q 0.99;
+          }
 
-let by_node h =
+let by_node histogram =
+  match histogram with
+  | Bounded _ -> []
+  | Raw h ->
   let per_node = Hashtbl.create 16 in
   for i = 0 to h.len - 1 do
     let node = h.nodes.(i) in

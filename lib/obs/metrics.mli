@@ -7,10 +7,13 @@
     [docs/OBSERVABILITY.md]).  Instrumented code holds the returned
     handle and updates it with no lookup on the hot path.
 
-    Histograms keep raw samples, each optionally tagged with a node id,
-    so one histogram serves both the aggregate distribution ({!summary})
-    and the per-node breakdown ({!by_node}) — e.g. ack latency overall
-    and ack latency of the worst node.
+    Histograms come in two modes.  {!histogram} keeps raw samples, each
+    optionally tagged with a node id, so one histogram serves both the
+    aggregate distribution ({!summary}) and the per-node breakdown
+    ({!by_node}) — e.g. ack latency overall and ack latency of the worst
+    node.  {!bounded_histogram} streams samples into a constant-memory
+    {!Stats.Quantile} estimator instead — the default for long-horizon
+    runs, whose observation counts would make raw storage unbounded.
 
     {!snapshot} captures every metric's current value under a label;
     [Localcast.Lb_obs] takes one per LBAlg phase.  {!write_json} dumps a
@@ -51,11 +54,31 @@ val gauge_value : gauge -> float
 type histogram
 
 val histogram : t -> string -> histogram
-(** The histogram named so, created empty on first use. *)
+(** The raw histogram named so, created empty on first use: every sample
+    is kept, so memory grows with the observation count but {!summary}
+    percentiles are exact and {!by_node} breakdowns are available.
+    Raises [Invalid_argument] if the name is registered as a
+    {!bounded_histogram} (or as another metric kind). *)
+
+val bounded_histogram :
+  ?sub:int -> ?lo:float -> ?hi:float -> t -> string -> histogram
+(** The bounded (streaming) histogram named so: samples are folded into
+    a {!Stats.Quantile} log-histogram, so memory is fixed at creation no
+    matter how many observations arrive — the mode long-horizon runs
+    (the serving engine, soak scenarios) must use.  {!summary}'s
+    [count]/[sum]/[min]/[max]/[mean] are exact; [p50]/[p90]/[p99] carry
+    the estimator's bounded relative error ({!Stats.Quantile.error_bound},
+    ≈ 2.2% at the default [sub]).  Node attribution is not retained:
+    {!by_node} returns [[]].  The optional parameters are passed to
+    {!Stats.Quantile.create} on first use.  Raises [Invalid_argument] if
+    the name is registered as a raw histogram (or as another metric
+    kind). *)
 
 val observe : ?node:int -> histogram -> float -> unit
 (** Record one sample, attributed to [node] when given (default: no
-    attribution; the sample still counts toward the aggregate). *)
+    attribution; the sample still counts toward the aggregate).  On a
+    bounded histogram the sample is folded into the estimator ([node]
+    is ignored) with no allocation. *)
 
 type summary = {
   count : int;
@@ -73,7 +96,7 @@ val summary : histogram -> summary option
 
 val by_node : histogram -> (int * summary) list
 (** Per-node summaries (nodes in increasing order), over the attributed
-    samples only. *)
+    samples only.  Always [[]] on a bounded histogram. *)
 
 (** {1 Snapshots and artifacts} *)
 

@@ -1,0 +1,135 @@
+(* Fixed-bin log2 histogram.  The exact accumulators (sum/min/max) live
+   in a flat float array so updates store unboxed — [observe] performs
+   no heap allocation, which the serving engine's steady-state loop
+   depends on (test/test_serve.ml pins this with a Gc.minor_words
+   probe). *)
+
+type t = {
+  counts : int array;
+      (* slot 0: underflow (v < lo, including 0); slots 1 .. octaves*sub:
+         log bins; last slot: overflow (v >= hi) *)
+  acc : float array;  (* 0: sum, 1: min, 2: max *)
+  mutable count : int;
+  sub : int;
+  lo : float;
+  hi : float;
+  log2_lo : float;
+  scale : float;  (* float_of_int sub *)
+  log_bins : int;  (* octaves * sub *)
+}
+
+let create ?(sub = 16) ?(lo = 1e-9) ?(hi = 0x1p62) () =
+  if sub < 1 then invalid_arg "Quantile.create: sub must be >= 1";
+  if not (lo > 0.0 && Float.is_finite lo) then
+    invalid_arg "Quantile.create: lo must be positive and finite";
+  if not (hi > lo) then invalid_arg "Quantile.create: hi must exceed lo";
+  let octaves = int_of_float (ceil (Float.log2 (hi /. lo))) in
+  let octaves = max 1 octaves in
+  let log_bins = octaves * sub in
+  let acc = [| 0.0; infinity; neg_infinity |] in
+  {
+    counts = Array.make (log_bins + 2) 0;
+    acc;
+    count = 0;
+    sub;
+    lo;
+    hi;
+    log2_lo = Float.log2 lo;
+    scale = float_of_int sub;
+    log_bins;
+  }
+
+let observe t v =
+  if Float.is_nan v then invalid_arg "Quantile.observe: NaN sample";
+  if v < 0.0 then invalid_arg "Quantile.observe: negative sample";
+  t.count <- t.count + 1;
+  t.acc.(0) <- t.acc.(0) +. v;
+  if v < t.acc.(1) then t.acc.(1) <- v;
+  if v > t.acc.(2) then t.acc.(2) <- v;
+  let idx =
+    if v < t.lo then 0
+    else if v >= t.hi then t.log_bins + 1
+    else
+      let b = int_of_float ((Float.log2 v -. t.log2_lo) *. t.scale) in
+      (* Float rounding at a bin edge can land one slot out; clamp. *)
+      if b < 0 then 1
+      else if b >= t.log_bins then t.log_bins
+      else b + 1
+  in
+  t.counts.(idx) <- t.counts.(idx) + 1
+
+(* Same as [observe], but the sample crosses the call boundary as an
+   immediate int: without flambda a [float] argument is boxed at every
+   call site, which would put one minor allocation on the serving
+   engine's per-event path.  The body keeps all float math in unboxed
+   locals. *)
+let observe_int t k =
+  if k < 0 then invalid_arg "Quantile.observe_int: negative sample";
+  let v = float_of_int k in
+  t.count <- t.count + 1;
+  t.acc.(0) <- t.acc.(0) +. v;
+  if v < t.acc.(1) then t.acc.(1) <- v;
+  if v > t.acc.(2) then t.acc.(2) <- v;
+  let idx =
+    if v < t.lo then 0
+    else if v >= t.hi then t.log_bins + 1
+    else
+      let b = int_of_float ((Float.log2 v -. t.log2_lo) *. t.scale) in
+      if b < 0 then 1
+      else if b >= t.log_bins then t.log_bins
+      else b + 1
+  in
+  t.counts.(idx) <- t.counts.(idx) + 1
+
+let count t = t.count
+
+let sum t = t.acc.(0)
+
+let mean t = if t.count = 0 then Float.nan else t.acc.(0) /. float_of_int t.count
+
+let min_value t = t.acc.(1)
+
+let max_value t = t.acc.(2)
+
+let quantile t q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Quantile.quantile: q outside [0, 1]";
+  if t.count = 0 then Float.nan
+  else begin
+    (* nearest rank: the ⌈q·count⌉-th smallest observation *)
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let idx = ref 0 in
+    let seen = ref 0 in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         seen := !seen + t.counts.(i);
+         if !seen >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let v =
+      if !idx = 0 then t.acc.(1) (* underflow: everything there is < lo *)
+      else if !idx = t.log_bins + 1 then t.acc.(2)
+      else
+        (* geometric midpoint of log bin [idx - 1] *)
+        t.lo *. Float.exp2 ((float_of_int (!idx - 1) +. 0.5) /. t.scale)
+    in
+    (* the exact extrema are known; never report outside them *)
+    if v < t.acc.(1) then t.acc.(1) else if v > t.acc.(2) then t.acc.(2) else v
+  end
+
+let error_bound t = Float.exp2 (1.0 /. (2.0 *. t.scale)) -. 1.0
+
+let bins t = Array.length t.counts
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.acc.(0) <- 0.0;
+  t.acc.(1) <- infinity;
+  t.acc.(2) <- neg_infinity;
+  t.count <- 0

@@ -1,0 +1,69 @@
+(** Streaming quantile estimation in constant memory.
+
+    A fixed-bin base-2 logarithmic histogram (the HDR-histogram idea):
+    the value axis is cut into [sub] geometric sub-bins per octave
+    between [lo] and [hi], so one bin spans a ratio of [2^(1/sub)] and a
+    quantile read off the cumulative bin counts is correct to a bounded
+    {e relative} error — [2^(1/(2·sub)) - 1] (≈ 2.2% at the default
+    [sub = 16]) for values inside [\[lo, hi)] — independent of how many
+    observations were folded in.  Memory is fixed at creation
+    ([octaves·sub + 2] integer bins plus a few exact accumulators), so a
+    long-horizon run can observe millions of latencies without the
+    unbounded sample storage {!Summary} and raw {!Obs.Metrics}
+    histograms need.
+
+    [count], [sum], [mean], [min] and [max] are exact; only the interior
+    percentiles are approximate.  Values below [lo] land in an underflow
+    bin whose quantile reads back the exact minimum; values at or above
+    [hi] land in an overflow bin that reads back the exact maximum — so
+    estimates are always inside [\[min, max\]].  Observations must be
+    non-negative and non-NaN ([Invalid_argument] otherwise — same
+    poisoning argument as {!Summary.of_array}). *)
+
+type t
+
+val create : ?sub:int -> ?lo:float -> ?hi:float -> unit -> t
+(** [create ()] covers [\[1e-9, 2^62)] at 16 sub-bins per octave
+    (1,138 bins, ≈ 9 KB).  [sub] must be ≥ 1, [lo] positive and finite,
+    [hi > lo]. *)
+
+val observe : t -> float -> unit
+(** Fold one value in.  O(1); the estimator itself allocates nothing
+    (but the [float] argument is boxed at the call site on non-flambda
+    compilers — hot paths should prefer {!observe_int}). *)
+
+val observe_int : t -> int -> unit
+(** [observe_int t k] = [observe t (float_of_int k)] with no boxing at
+    the call boundary: the sample travels as an immediate int, so the
+    call is genuinely allocation-free — what the serving engine uses
+    for round-valued latencies and queue depths. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** NaN when empty. *)
+
+val min_value : t -> float
+(** [infinity] when empty (so [min]/[max] fold correctly). *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q ∈ \[0, 1\]]: the nearest-rank quantile, read
+    from the bins at geometric-midpoint resolution and clamped into
+    [\[min, max\]].  NaN when empty; [Invalid_argument] on [q] outside
+    [\[0, 1\]]. *)
+
+val error_bound : t -> float
+(** The worst-case relative error of {!quantile} for values inside
+    [\[lo, hi)]: [2^(1/(2·sub)) - 1]. *)
+
+val bins : t -> int
+(** Number of integer bins held (fixed at creation) — the memory story
+    in one number. *)
+
+val reset : t -> unit
+(** Forget all observations; bins and bounds are kept. *)

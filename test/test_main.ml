@@ -22,6 +22,7 @@ let () =
       ("mac-spec", Test_macspec.suite);
       ("gossip-baseline", Test_gossip.suite);
       ("service", Test_service.suite);
+      ("serving-engine", Test_serve.suite);
       ("observability", Test_obs.suite);
       ("faults", Test_faults.suite);
       ("golden-traces", Test_golden.suite);

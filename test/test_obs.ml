@@ -183,6 +183,61 @@ let test_metrics_registry () =
     (String.length json > 0 && String.index_opt json '\n' = None);
   checkb "snapshot json mentions histogram" true (contains json "\"h\"")
 
+let test_bounded_histogram_mode () =
+  let m = Metrics.create () in
+  let h = Metrics.bounded_histogram m "b" in
+  checkb "empty bounded histogram" true (Metrics.summary h = None);
+  checkb "handle is shared" true (Metrics.bounded_histogram m "b" == h);
+  List.iter
+    (fun v -> Metrics.observe ~node:(v mod 2) h (float_of_int v))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  (match Metrics.summary h with
+  | None -> Alcotest.fail "summary empty"
+  | Some s ->
+      (* count/sum/min/max/mean are exact in bounded mode *)
+      checki "count" 10 s.Metrics.count;
+      checkb "sum" true (s.Metrics.sum = 55.0);
+      checkb "min" true (s.Metrics.min = 1.0);
+      checkb "max" true (s.Metrics.max = 10.0);
+      checkb "mean" true (s.Metrics.mean = 5.5);
+      (* percentiles carry the estimator's ~2.2% relative error *)
+      checkb "p50 near 5" true (Float.abs (s.Metrics.p50 -. 5.0) <= 1.0);
+      checkb "p99 near max" true (Float.abs (s.Metrics.p99 -. 10.0) <= 1.0));
+  checkb "no per-node attribution in bounded mode" true
+    (Metrics.by_node h = []);
+  (* a bounded name cannot be re-opened raw, and vice versa *)
+  Alcotest.check_raises "raw reopen of bounded name"
+    (Invalid_argument "Metrics.histogram: \"b\" is a bounded histogram")
+    (fun () -> ignore (Metrics.histogram m "b"));
+  let _raw = Metrics.histogram m "r" in
+  Alcotest.check_raises "bounded reopen of raw name"
+    (Invalid_argument "Metrics.bounded_histogram: \"r\" is a raw histogram")
+    (fun () -> ignore (Metrics.bounded_histogram m "r"));
+  (* bounded histograms appear in snapshots like raw ones *)
+  let snap = Metrics.snapshot ~label:"t" m in
+  checkb "snapshot carries bounded histogram" true
+    (List.mem_assoc "b" snap.Metrics.histograms)
+
+let test_bounded_histogram_fixed_memory () =
+  (* The regression the serving engine depends on: a million
+     observations must not grow the estimator.  The reachable-word
+     budget is the fixed bin array (~1.1k bins at default resolution)
+     plus small change — far below the 10^6 boxed floats raw mode
+     would hold. *)
+  let m = Metrics.create () in
+  let h = Metrics.bounded_histogram m "soak" in
+  Metrics.observe h 1.0;
+  let words_before = Obj.reachable_words (Obj.repr h) in
+  for i = 1 to 1_000_000 do
+    Metrics.observe h (float_of_int ((i land 0xFFFF) + 1))
+  done;
+  let words_after = Obj.reachable_words (Obj.repr h) in
+  checki "memory did not grow with observations" words_before words_after;
+  checkb "and the budget is a few KB" true (words_after < 4_096);
+  (match Metrics.summary h with
+  | Some s -> checki "all observations counted" 1_000_001 s.Metrics.count
+  | None -> Alcotest.fail "summary empty after soak")
+
 let test_metrics_artifact () =
   let m = Metrics.create () in
   Metrics.incr (Metrics.counter m "evil\"name");
@@ -620,6 +675,10 @@ let suite =
     Alcotest.test_case "string codec: \\u escape exactness" `Quick
       test_codec_u_escape_exactness;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "bounded histogram mode" `Quick
+      test_bounded_histogram_mode;
+    Alcotest.test_case "bounded histogram fixed memory" `Quick
+      test_bounded_histogram_fixed_memory;
     Alcotest.test_case "metrics artifact escaping" `Quick test_metrics_artifact;
     Alcotest.test_case "audit: timely ack is clean" `Quick test_audit_ack_ok;
     Alcotest.test_case "audit: late ack" `Quick test_audit_late_ack;

@@ -235,6 +235,85 @@ let test_trials_par_work_stealing () =
         [ 1; 2; 7 ])
     [ ("front-loaded", front_loaded); ("back-loaded", back_loaded) ]
 
+(* --- streaming quantiles (Stats.Quantile) --- *)
+
+module Quantile = Stats.Quantile
+
+let test_quantile_empty () =
+  let q = Quantile.create () in
+  checki "count" 0 (Quantile.count q);
+  checkb "quantile NaN" true (Float.is_nan (Quantile.quantile q 0.5));
+  checkb "mean NaN" true (Float.is_nan (Quantile.mean q));
+  checkb "min +inf" true (Quantile.min_value q = infinity);
+  checkb "max -inf" true (Quantile.max_value q = neg_infinity)
+
+let test_quantile_exact_moments () =
+  let q = Quantile.create () in
+  for i = 1 to 100 do
+    Quantile.observe_int q i
+  done;
+  checki "count" 100 (Quantile.count q);
+  checkf "sum exact" 5050.0 (Quantile.sum q);
+  checkf "mean exact" 50.5 (Quantile.mean q);
+  checkf "min exact" 1.0 (Quantile.min_value q);
+  checkf "max exact" 100.0 (Quantile.max_value q);
+  let eb = Quantile.error_bound q in
+  (* extreme quantiles stay inside [min, max] and within the bound *)
+  let q0 = Quantile.quantile q 0.0 and q1 = Quantile.quantile q 1.0 in
+  checkb "q0 near min" true (q0 >= 1.0 && q0 <= 1.0 *. (1.0 +. eb));
+  checkb "q1 near max" true (q1 <= 100.0 && q1 >= 100.0 *. (1.0 -. eb));
+  checkb "median within relative error bound" true
+    (Float.abs (Quantile.quantile q 0.5 -. 50.0) <= (eb *. 50.0) +. 1.0)
+
+let test_quantile_constant_stream () =
+  let q = Quantile.create () in
+  for _ = 1 to 1000 do
+    Quantile.observe q 37.25
+  done;
+  (* every quantile of a constant stream is the constant, exactly:
+     estimates are clamped into [min, max] *)
+  List.iter
+    (fun p -> checkf (Printf.sprintf "q%.2f" p) 37.25 (Quantile.quantile q p))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_quantile_observe_int_matches_observe () =
+  let a = Quantile.create () and b = Quantile.create () in
+  List.iter
+    (fun k ->
+      Quantile.observe_int a k;
+      Quantile.observe b (float_of_int k))
+    [ 0; 1; 7; 1024; 999_999; 3 ];
+  checki "count" (Quantile.count a) (Quantile.count b);
+  checkf "sum" (Quantile.sum a) (Quantile.sum b);
+  List.iter
+    (fun p ->
+      checkf (Printf.sprintf "q%.2f equal" p) (Quantile.quantile a p)
+        (Quantile.quantile b p))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_quantile_validation () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  let q = Quantile.create () in
+  checkb "negative observation" true (raises (fun () -> Quantile.observe q (-1.0)));
+  checkb "NaN observation" true (raises (fun () -> Quantile.observe q Float.nan));
+  checkb "negative observe_int" true (raises (fun () -> Quantile.observe_int q (-1)));
+  checkb "q out of range" true (raises (fun () -> Quantile.quantile q 1.5));
+  checkb "sub = 0" true (raises (fun () -> Quantile.create ~sub:0 ()));
+  checkb "hi <= lo" true (raises (fun () -> Quantile.create ~lo:4.0 ~hi:2.0 ()))
+
+let test_quantile_reset () =
+  let q = Quantile.create () in
+  Quantile.observe_int q 5;
+  Quantile.reset q;
+  checki "count after reset" 0 (Quantile.count q);
+  checkb "quantile NaN after reset" true
+    (Float.is_nan (Quantile.quantile q 0.5));
+  Quantile.observe_int q 9;
+  checkf "usable after reset" 9.0 (Quantile.quantile q 0.5)
+
 let qcheck_cases =
   let open QCheck in
   [
@@ -244,6 +323,28 @@ let qcheck_cases =
         let f ~trial ~seed = (trial, seed, seed * 3) in
         Experiment.trials_par ~domains ~seed ~n f
         = Experiment.trials ~seed ~n f);
+    Test.make
+      ~name:"streaming quantile tracks exact order statistics within bound"
+      ~count:150
+      (pair (list_of_size Gen.(int_range 1 400) (int_range 1 1_000_000))
+         (int_bound 99))
+      (fun (samples, pct) ->
+        let q = Quantile.create () in
+        List.iter (Quantile.observe_int q) samples;
+        let sorted =
+          Array.of_list (List.map float_of_int (List.sort compare samples))
+        in
+        let p = float_of_int pct /. 100.0 in
+        let est = Quantile.quantile q p in
+        (* Tolerance: the estimator's bounded relative error, plus one
+           rank of slack on each side for the nearest-rank vs
+           interpolated convention difference. *)
+        let n = Array.length sorted in
+        let r = p *. float_of_int (n - 1) in
+        let lo = sorted.(max 0 (int_of_float (floor r) - 1)) in
+        let hi = sorted.(min (n - 1) (int_of_float (ceil r) + 1)) in
+        let eb = Quantile.error_bound q in
+        est >= lo *. (1.0 -. eb) -. 1e-9 && est <= hi *. (1.0 +. eb) +. 1e-9);
   ]
 
 let test_count_and_time () =
@@ -282,5 +383,11 @@ let suite =
       ("summary rejects NaN", test_summary_rejects_nan);
       ("trials_par work stealing uneven load", test_trials_par_work_stealing);
       ("count and time", test_count_and_time);
+      ("quantile empty", test_quantile_empty);
+      ("quantile exact moments", test_quantile_exact_moments);
+      ("quantile constant stream", test_quantile_constant_stream);
+      ("quantile observe_int = observe", test_quantile_observe_int_matches_observe);
+      ("quantile validation", test_quantile_validation);
+      ("quantile reset", test_quantile_reset);
     ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_cases
