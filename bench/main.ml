@@ -19,6 +19,8 @@
      E20     crash/restart churn: ack-driven recovery vs a fixed budget
      E21     tiled engine at scale: flat per-node cost to n = 10^6
      E22     multi-message serving under rate x burstiness x policy
+     E23     reception models: dual-graph vs SINR physical interference
+             on the same embeddings (also the reception CI smoke)
      obs     observability layer: event stream, metrics artifact, and the
              online auditor cross-checked against Lb_spec (writes
              BENCH_obs.json and BENCH_obs_events.jsonl)
@@ -51,6 +53,7 @@ let groups : (string * (unit -> unit)) list =
     ("e20", Exp_churn.run);
     ("e21", Exp_scale.run);
     ("e22", Exp_load.run);
+    ("e23", Exp_reception.run);
     ("obs", Exp_obs.run);
     ("micro", Micro.run);
     ("service", Exp_service.run);
@@ -76,8 +79,8 @@ let () =
       ( "--only",
         Arg.String (fun s -> only := s :: !only),
         "GROUP run only this experiment group (e1-e4, e5-e7, e8, e9, e10, e11, \
-         e12, e13, e14, e15, e16, e17, e18, e19, e20, e21, e22, obs, micro, \
-         service); repeatable" );
+         e12, e13, e14, e15, e16, e17, e18, e19, e20, e21, e22, e23, obs, \
+         micro, service); repeatable" );
       ("--quick", Arg.Set Exp_common.quick, " reduced trial counts");
       ( "--domains",
         Arg.Int

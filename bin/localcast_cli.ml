@@ -255,8 +255,20 @@ let run_cmd =
              --seed; spec accounting becomes survivor-relative (see \
              docs/FAULTS.md).")
   in
+  let reception_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reception" ] ~docv:"SPEC"
+          ~doc:
+            "Reception model: 'dual' (the paper's dual-graph collision rule, \
+             the default) or 'sinr[:key=value,...]' — physical interference \
+             over the topology's embedding, with keys alpha, beta, noise, \
+             power, jam, near (e.g. 'sinr:alpha=4,beta=2').  See \
+             docs/RECEPTION.md.")
+  in
   let run topology scheduler link_p seed n width r gray eps phases senders tack
-      load events metrics_path audit faults_spec =
+      load events metrics_path audit faults_spec reception_spec =
     let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
     let n = Dual.n dual in
     Format.printf "%a@." Dual.pp dual;
@@ -283,6 +295,18 @@ let run_cmd =
       match faults with
       | None -> None
       | Some _ -> Some (L.Service.reviver ~params ~seed ())
+    in
+    let reception =
+      match reception_spec with
+      | None -> Radiosim.Reception.dual_graph
+      | Some spec -> (
+          match Radiosim.Reception.of_spec spec with
+          | Ok m ->
+              Format.printf "reception %a@." Radiosim.Reception.pp m;
+              m
+          | Error msg ->
+              Format.eprintf "localcast: bad --reception spec: %s@." msg;
+              exit 2)
     in
     let monitor = L.Lb_spec.monitor ?faults ~dual ~params ~env:envt () in
     (* Observability wiring: any of --events/--metrics/--audit needs the
@@ -318,7 +342,7 @@ let run_cmd =
     let executed, secs =
       Stats.Experiment.time (fun () ->
           Radiosim.Engine.run ~observer ?sink ?metrics:registry ?faults
-            ?revive ~dual
+            ?revive ~reception ~dual
             ~scheduler:(make_scheduler scheduler ~seed ~p:link_p)
             ~nodes ~env:(L.Lb_env.env envt) ~rounds ())
     in
@@ -373,7 +397,7 @@ let run_cmd =
       const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
       $ width_arg $ r_arg $ gray_arg $ eps_arg $ phases_arg $ senders_arg
       $ tack_arg $ load_arg $ events_arg $ metrics_arg $ audit_arg
-      $ faults_arg)
+      $ faults_arg $ reception_arg)
 
 (* --- flood --- *)
 

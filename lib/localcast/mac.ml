@@ -76,8 +76,8 @@ let request t ~node ~tag =
 let f_prog t = Params.t_prog_rounds t.params
 let f_ack t = Params.t_ack_rounds t.params
 
-let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tick t ~scheduler ~rounds
-    =
+let run ?observer ?stop ?sink ?metrics ?faults ?revive ?reception ?tick t
+    ~scheduler ~rounds =
   if t.started then invalid_arg "Mac.run: already run";
   t.started <- true;
   let env =
@@ -114,4 +114,4 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tick t ~scheduler ~round
         Some f
   in
   Radiosim.Engine.run ?observer ?stop ?sink ?metrics ?faults ?revive
-    ~dual:t.dual ~scheduler ~nodes:t.nodes ~env ~rounds ()
+    ?reception ~dual:t.dual ~scheduler ~nodes:t.nodes ~env ~rounds ()

@@ -63,6 +63,7 @@ val run :
     (node:int ->
     round:int ->
     (Messages.msg, Messages.lb_input, Messages.lb_output) Radiosim.Process.node) ->
+  ?reception:Radiosim.Reception.t ->
   ?tick:(round:int -> unit) ->
   t ->
   scheduler:Radiosim.Scheduler.t ->
@@ -88,4 +89,8 @@ val run :
     crashed MAC node goes silent (its outstanding request, if any, stays
     outstanding — the application sees no ack) and a restart swaps in
     the process [revive] supplies; use [Lb_alg.node] with a derived RNG
-    for fresh-state re-entry, as {!Service.run} does. *)
+    for fresh-state re-entry, as {!Service.run} does.
+
+    [reception] selects the engine's reception model (default
+    {!Radiosim.Reception.dual_graph}); the MAC's request/ack contract is
+    physics-agnostic — see [docs/RECEPTION.md]. *)

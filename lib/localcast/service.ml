@@ -49,8 +49,8 @@ let revive_opt ?seed_source ~params ~seed faults =
   | None -> None
   | Some _ -> Some (reviver ?seed_source ~params ~seed ())
 
-let run ?scheduler ?seed_source ?observer ?sink ?metrics ?faults ~dual ~params
-    ~senders ~phases ~seed () =
+let run ?scheduler ?seed_source ?observer ?sink ?metrics ?faults ?reception
+    ~dual ~params ~senders ~phases ~seed () =
   let scheduler =
     match scheduler with Some s -> s | None -> default_scheduler ~seed
   in
@@ -67,15 +67,16 @@ let run ?scheduler ?seed_source ?observer ?sink ?metrics ?faults ~dual ~params
   in
   let revive = revive_opt ?seed_source ~params ~seed faults in
   let rounds_executed =
-    Engine.run ~observer:observe ?sink ?metrics ?faults ?revive ~dual
-      ~scheduler ~nodes
+    Engine.run ~observer:observe ?sink ?metrics ?faults ?revive ?reception
+      ~dual ~scheduler ~nodes
       ~env:(Lb_env.env envt)
       ~rounds:(phases * params.Params.phase_len)
       ()
   in
   finish ?glue ~monitor ~envt ~rounds_executed ()
 
-let one_shot ?scheduler ?sink ?metrics ?faults ~dual ~params ~sender ~seed () =
+let one_shot ?scheduler ?sink ?metrics ?faults ?reception ~dual ~params
+    ~sender ~seed () =
   let scheduler =
     match scheduler with Some s -> s | None -> default_scheduler ~seed
   in
@@ -91,8 +92,8 @@ let one_shot ?scheduler ?sink ?metrics ?faults ~dual ~params ~sender ~seed () =
   in
   let revive = revive_opt ~params ~seed faults in
   let rounds_executed =
-    Engine.run ~observer:observe ?sink ?metrics ?faults ?revive ~dual
-      ~scheduler ~nodes
+    Engine.run ~observer:observe ?sink ?metrics ?faults ?revive ?reception
+      ~dual ~scheduler ~nodes
       ~env:(Lb_env.env envt)
       ~rounds:(Params.t_ack_rounds params)
       ()
@@ -127,8 +128,8 @@ let one_shot ?scheduler ?sink ?metrics ?faults ~dual ~params ~sender ~seed () =
   in
   (outcome, completion)
 
-let first_reception ?scheduler ?seed_source ?sink ?faults ~dual ~params
-    ~receiver ~max_rounds ~seed () =
+let first_reception ?scheduler ?seed_source ?sink ?faults ?reception ~dual
+    ~params ~receiver ~max_rounds ~seed () =
   let scheduler =
     match scheduler with Some s -> s | None -> default_scheduler ~seed
   in
@@ -147,7 +148,7 @@ let first_reception ?scheduler ?seed_source ?sink ?faults ~dual ~params
   in
   let revive = revive_opt ?seed_source ~params ~seed faults in
   let (_ : int) =
-    Engine.run ~stop ?sink ?faults ?revive ~dual ~scheduler ~nodes
+    Engine.run ~stop ?sink ?faults ?revive ?reception ~dual ~scheduler ~nodes
       ~env:(Lb_env.env envt) ~rounds:max_rounds ()
   in
   !result

@@ -41,6 +41,7 @@ val run :
   ?sink:Obs.Sink.t ->
   ?metrics:Obs.Metrics.t ->
   ?faults:Faults.Plan.t ->
+  ?reception:Radiosim.Reception.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   senders:int list ->
@@ -68,13 +69,21 @@ val run :
     obligation window, so a crash plan yields no false breaches.
     Restarted nodes re-enter with a fresh LBAlg process whose RNG is
     derived from (seed, node, round) via SplitMix — deterministic at any
-    domain count. *)
+    domain count.
+
+    [reception] selects the engine's reception model (default
+    {!Radiosim.Reception.dual_graph}); the algorithm, environment, spec
+    monitor and observability rail are physics-agnostic and run
+    unchanged over {!Radiosim.Reception.Sinr}.  Under a fault plan note
+    the SINR jam semantics: jam windows degrade the victim's reception
+    instead of suppressing its transmission (see [docs/RECEPTION.md]). *)
 
 val one_shot :
   ?scheduler:Radiosim.Scheduler.t ->
   ?sink:Obs.Sink.t ->
   ?metrics:Obs.Metrics.t ->
   ?faults:Faults.Plan.t ->
+  ?reception:Radiosim.Reception.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   sender:int ->
@@ -84,15 +93,16 @@ val one_shot :
 (** A single [bcast] at round 0, run for the full derived
     acknowledgement window [t_ack].  The second component is the round by
     which the {e last} reliable neighbor had received the message, if all
-    of them did.  [sink], [metrics] and [faults] behave as in {!run};
-    under a fault plan, completion is judged over the {e survivor}
-    neighbors (alive for the whole run) only. *)
+    of them did.  [sink], [metrics], [faults] and [reception]
+    behave as in {!run}; under a fault plan, completion is judged over
+    the {e survivor} neighbors (alive for the whole run) only. *)
 
 val first_reception :
   ?scheduler:Radiosim.Scheduler.t ->
   ?seed_source:Lb_alg.seed_source ->
   ?sink:Obs.Sink.t ->
   ?faults:Faults.Plan.t ->
+  ?reception:Radiosim.Reception.t ->
   dual:Dualgraph.Dual.t ->
   params:Params.t ->
   receiver:int ->
@@ -103,4 +113,5 @@ val first_reception :
 (** All nodes except [receiver] saturate; returns the 0-based round of
     the receiver's first clean data reception, or [None] if it starves
     for [max_rounds].  [sink] receives the engine's structural events
-    (this runner has no spec observer, so no protocol events). *)
+    (this runner has no spec observer, so no protocol events);
+    [reception] behaves as in {!run}. *)

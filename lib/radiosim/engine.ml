@@ -36,8 +36,24 @@ let unreliable_incidence dual =
    (first-message, collision) scratch — O(T·Δ + active + n) per round.
    All scratch never escapes, so it is allocated once per run. *)
 let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
-    ?observer ?stop ?sink ?metrics ?faults ?revive () =
+    ?observer ?stop ?sink ?metrics ?faults ?revive
+    ?(reception = Reception.dual_graph) () =
   let n = Dual.n dual in
+  (* The reception model is fixed for the whole run.  Dual_graph keeps
+     the loop below branch-for-branch the pre-refactor engine (the
+     property suite and the golden corpus hold it to bit-identical
+     traces); Sinr swaps only the reception phase — scheduling, fault
+     transitions, event emission and record serialization are shared. *)
+  let sinr_field =
+    match reception with
+    | Reception.Dual_graph -> None
+    | Reception.Sinr p -> Some (Sinr.create ~params:p dual)
+  in
+  (* Under the dual-graph model a jam window suppresses the victim's
+     transmission; under SINR it is additive noise at the victim's
+     receiver instead — the jammer cannot silence a physical radio, only
+     drown what it hears. *)
+  let jam_suppresses = Option.is_none sinr_field in
   if Array.length nodes <> n then
     invalid_arg "Engine.run: node array size differs from vertex count";
   if rounds < 0 then invalid_arg "Engine.run: negative round count";
@@ -192,7 +208,7 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
         transmitting.(v) <-
           (match a with
           | Process.Transmit _ ->
-              if jammed v then begin
+              if jam_suppresses && jammed v then begin
                 (match ctr_jam with Some c -> Obs.Metrics.incr c | None -> ());
                 false
               end
@@ -210,6 +226,34 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
       end
     done;
     let acount = ref 0 in
+    (match sinr_field with
+    | Some f ->
+        if !tcount > 0 then begin
+          (* SINR reception: listener-centric by nature — every
+             listener's outcome is a pure function of the global
+             transmitter set.  The link scheduler is not consulted
+             (interference replaces adversarial edge choice), so no
+             activation set is resolved and [engine.active_edges] does
+             not advance. *)
+          Sinr.load_round f ~transmitters ~count:!tcount;
+          for u = 0 to n - 1 do
+            if (not (Array.unsafe_get transmitting u)) && not (is_dead u)
+            then begin
+              let jam_u = jammed u in
+              (match ctr_jam with
+              | Some c when jam_u -> Obs.Metrics.incr c
+              | _ -> ());
+              match Sinr.receive f ~jammed:jam_u ~listener:u with
+              | -1 -> ()
+              | -2 -> Bytes.unsafe_set collided u '\001'
+              | v -> (
+                  match Array.unsafe_get actions v with
+                  | Process.Transmit msg -> Array.unsafe_set heard u (Some msg)
+                  | Process.Listen -> assert false)
+            end
+          done
+        end
+    | None ->
     if !tcount > 0 then begin
       if m > 0 then begin
         acount := fill_sparse ~round:t ~transmitting sparse;
@@ -254,7 +298,7 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
         Array.unsafe_set adj_head (Array.unsafe_get eu e) (-1);
         Array.unsafe_set adj_head (Array.unsafe_get ev e) (-1)
       done
-    end;
+    end);
     for u = 0 to n - 1 do
       delivered.(u) <-
         (match actions.(u) with
@@ -327,8 +371,8 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
   done;
   !executed
 
-let run ?observer ?stop ?incidence ?sink ?metrics ?faults ?revive ~dual
-    ~scheduler ~nodes ~env ~rounds () =
+let run ?observer ?stop ?incidence ?sink ?metrics ?faults ?revive ?reception
+    ~dual ~scheduler ~nodes ~env ~rounds () =
   let m = Dual.unreliable_count dual in
   let fill_sparse ~round ~transmitting:_ buf =
     Scheduler.fill_active_sparse scheduler ~round ~m buf
@@ -337,10 +381,22 @@ let run ?observer ?stop ?incidence ?sink ?metrics ?faults ?revive ~dual
     if Scheduler.resolves_sparsely scheduler then count else m
   in
   run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
-    ?observer ?stop ?sink ?metrics ?faults ?revive ()
+    ?observer ?stop ?sink ?metrics ?faults ?revive ?reception ()
 
 let run_adaptive ?observer ?stop ?incidence ?sink ?metrics ?faults ?revive
-    ~dual ~adversary ~nodes ~env ~rounds () =
+    ?(reception = Reception.dual_graph) ~dual ~adversary ~nodes ~env ~rounds ()
+    =
+  (* The adaptive adversary's whole power is choosing which unreliable
+     edges fire after seeing the transmitter set; SINR ignores those
+     edges entirely, so combining the two would silently run a plain
+     SINR simulation while claiming adversarial semantics. *)
+  (match reception with
+  | Reception.Dual_graph -> ()
+  | Reception.Sinr _ ->
+      invalid_arg
+        "Engine.run_adaptive: the SINR reception model does not consult the \
+         link scheduler, so an adaptive adversary has nothing to rule on; \
+         use Engine.run with ~reception, or the dual-graph model");
   let m = Dual.unreliable_count dual in
   let fill_sparse ~round ~transmitting buf =
     let k = ref 0 in

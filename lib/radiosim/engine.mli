@@ -28,7 +28,16 @@
     decay-ladder algorithms live in, where T is a small constant and,
     under sparse link schedulers ({!Scheduler.bernoulli_sparse}),
     [active ≈ p·m ≪ m] — instead of the listener-centric O(n·Δ') of
-    {!run_reference}. *)
+    {!run_reference}.
+
+    Step 4's collision rule is the {e reception model} and is pluggable
+    ({!Reception.t}): the default {!Reception.Dual_graph} is the rule
+    above, kept branch-for-branch the pre-refactor engine (bit-identical
+    traces, enforced by the property suite and the golden corpus);
+    {!Reception.Sinr} replaces it with physical interference computed
+    over the topology's Euclidean embedding — the scheduler is then not
+    consulted and steps 1–3 and 5 run unchanged.  See [docs/RECEPTION.md]
+    for the contract both models satisfy. *)
 
 type incidence
 (** Per-node incidence of a dual graph's unreliable edges in flat CSR
@@ -48,6 +57,7 @@ val run :
   ?metrics:Obs.Metrics.t ->
   ?faults:Faults.Plan.t ->
   ?revive:(node:int -> round:int -> ('msg, 'input, 'output) Process.node) ->
+  ?reception:Reception.t ->
   dual:Dualgraph.Dual.t ->
   scheduler:Scheduler.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -101,7 +111,21 @@ val run :
     bracket before any [Transmit]; with metrics, [faults.crashes],
     [faults.restarts] and [faults.jams] counters advance.  With an
     {e empty} plan — or none — the run is bit-identical to the
-    uninstrumented engine. *)
+    uninstrumented engine.
+
+    [reception] selects the reception model (default
+    {!Reception.dual_graph}, the semantics documented above — the run is
+    then bit-identical to the engine before models were pluggable).
+    Under {!Reception.Sinr} the round's listeners instead decode by
+    signal-to-interference ratio over the topology's embedding: the link
+    scheduler is not consulted ([scheduler] may still drive other runs;
+    here its edges simply never fire), [engine.active_edges] and
+    [scheduler.edges_resolved] do not advance, a failed decode still
+    emits [Collision], and a jam window adds the model's [jam] noise to
+    the victim's receiver instead of suppressing its transmission
+    ([faults.jams] then counts jammed {e listeners} per contended
+    round).  Raises [Invalid_argument] if the model requires an
+    embedding the topology lacks. *)
 
 val run_adaptive :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->
@@ -111,6 +135,7 @@ val run_adaptive :
   ?metrics:Obs.Metrics.t ->
   ?faults:Faults.Plan.t ->
   ?revive:(node:int -> round:int -> ('msg, 'input, 'output) Process.node) ->
+  ?reception:Reception.t ->
   dual:Dualgraph.Dual.t ->
   adversary:Adaptive.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -130,7 +155,10 @@ val run_adaptive :
     {e on-air} transmission vector — dead and jammed nodes read as
     non-transmitters.  Kept separate from {!run} so that a type of
     scheduler can never silently escalate into the stronger
-    adversary. *)
+    adversary.  [reception] must be {!Reception.Dual_graph} (the
+    default): the adversary's whole power is ruling on unreliable
+    edges, which SINR ignores — passing an SINR model raises
+    [Invalid_argument] rather than silently dropping the adversary. *)
 
 val run_reference :
   ?observer:(('msg, 'input, 'output) Trace.round_record -> unit) ->

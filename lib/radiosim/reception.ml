@@ -1,0 +1,151 @@
+type sinr = {
+  alpha : float;
+  beta : float;
+  noise : float;
+  power : float;
+  jam : float;
+  near : int;
+}
+
+type t = Dual_graph | Sinr of sinr
+
+let dual_graph = Dual_graph
+
+let default_alpha = 3.0
+let default_beta = 1.5
+let default_noise = 0.01
+let default_power = 1.0
+let default_near = 2
+
+let validate_sinr { alpha; beta; noise; power; jam; near } =
+  let bad fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let finite_pos name v =
+    if Float.is_nan v || v <= 0.0 || v = Float.infinity then
+      bad "Reception: %s must be a finite positive number, got %g" name v
+    else Ok ()
+  in
+  let finite_nonneg name v =
+    if Float.is_nan v || v < 0.0 || v = Float.infinity then
+      bad "Reception: %s must be finite and >= 0, got %g" name v
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = finite_pos "alpha" alpha in
+  let* () = finite_pos "beta" beta in
+  let* () = finite_nonneg "noise" noise in
+  let* () = finite_pos "power" power in
+  let* () = finite_nonneg "jam" jam in
+  if near < 1 then bad "Reception: near must be >= 1, got %d" near else Ok ()
+
+let sinr_exn p =
+  match validate_sinr p with
+  | Ok () -> Sinr p
+  | Error msg -> invalid_arg msg
+
+let sinr ?(alpha = default_alpha) ?(beta = default_beta)
+    ?(noise = default_noise) ?(power = default_power) ?jam
+    ?(near = default_near) () =
+  let jam = match jam with Some j -> j | None -> 1000.0 *. power in
+  sinr_exn { alpha; beta; noise; power; jam; near }
+
+let of_spec spec =
+  let spec = String.trim spec in
+  match String.lowercase_ascii spec with
+  | "dual" | "dual-graph" -> Ok Dual_graph
+  | "sinr" -> Ok (sinr ())
+  | _ ->
+      let prefix = "sinr:" in
+      let plen = String.length prefix in
+      if
+        String.length spec < plen
+        || not (String.equal (String.lowercase_ascii (String.sub spec 0 plen)) prefix)
+      then
+        Error
+          (Printf.sprintf
+             "Reception: bad spec %S (expected 'dual', 'sinr' or \
+              'sinr:key=value,...')"
+             spec)
+      else begin
+        let body = String.sub spec plen (String.length spec - plen) in
+        let kvs = String.split_on_char ',' body in
+        let parse acc kv =
+          let ( let* ) = Result.bind in
+          let* acc = acc in
+          match String.split_on_char '=' (String.trim kv) with
+          | [ key; value ] -> (
+              let key = String.lowercase_ascii (String.trim key) in
+              let value = String.trim value in
+              let float_v () =
+                match float_of_string_opt value with
+                | Some f -> Ok f
+                | None ->
+                    Error
+                      (Printf.sprintf "Reception: %s=%S is not a number" key
+                         value)
+              in
+              match key with
+              | "alpha" ->
+                  let* v = float_v () in
+                  Ok { acc with alpha = v }
+              | "beta" ->
+                  let* v = float_v () in
+                  Ok { acc with beta = v }
+              | "noise" ->
+                  let* v = float_v () in
+                  Ok { acc with noise = v }
+              | "power" ->
+                  let* v = float_v () in
+                  Ok { acc with power = v }
+              | "jam" ->
+                  let* v = float_v () in
+                  Ok { acc with jam = v }
+              | "near" -> (
+                  match int_of_string_opt value with
+                  | Some i -> Ok { acc with near = i }
+                  | None ->
+                      Error
+                        (Printf.sprintf "Reception: near=%S is not an integer"
+                           value))
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "Reception: unknown key %S (expected alpha, beta, \
+                        noise, power, jam or near)"
+                       key))
+          | _ ->
+              Error
+                (Printf.sprintf "Reception: malformed clause %S (expected \
+                                 key=value)"
+                   kv)
+        in
+        let defaults =
+          {
+            alpha = default_alpha;
+            beta = default_beta;
+            noise = default_noise;
+            power = default_power;
+            jam = 1000.0 *. default_power;
+            near = default_near;
+          }
+        in
+        match List.fold_left parse (Ok defaults) kvs with
+        | Error _ as e -> e
+        | Ok p -> ( match validate_sinr p with Ok () -> Ok (Sinr p) | Error e -> Error e)
+      end
+
+let to_spec = function
+  | Dual_graph -> "dual"
+  | Sinr { alpha; beta; noise; power; jam; near } ->
+      Printf.sprintf "sinr:alpha=%.17g,beta=%.17g,noise=%.17g,power=%.17g,jam=%.17g,near=%d"
+        alpha beta noise power jam near
+
+let name = function Dual_graph -> "dual-graph" | Sinr _ -> "sinr"
+
+let requires_embedding = function Dual_graph -> false | Sinr _ -> true
+
+let pp fmt = function
+  | Dual_graph -> Format.fprintf fmt "dual-graph"
+  | Sinr { alpha; beta; noise; power; jam; near } ->
+      Format.fprintf fmt
+        "sinr(alpha=%g beta=%g noise=%g power=%g jam=%g near=%d)" alpha beta
+        noise power jam near

@@ -1,0 +1,159 @@
+module Emb = Dualgraph.Embedding
+module Grid = Dualgraph.Grid
+
+(* Two co-located points would yield infinite received power; clamp the
+   squared distance so the math stays finite (the clamp is far below any
+   inter-node distance a generator produces). *)
+let min_d2 = 1e-12
+
+type t = {
+  n : int;
+  px : float array;
+  py : float array;
+  col : int array;  (* node -> grid column, fixed at creation *)
+  ncols : int;
+  near : int;
+  power : float;
+  beta : float;
+  noise : float;
+  jam : float;
+  neg_half_alpha : float;
+  pw_far : float array;
+      (* pw_far.(d): power of one transmitter at the center of a column
+         d columns away, i.e. power / (d * cell)^alpha; index 0 unused *)
+  (* per-round state, rebuilt by load_round *)
+  cnt : int array;  (* transmitters per column *)
+  off : int array;  (* CSR offsets into col_tx, length ncols + 1 *)
+  fill : int array;  (* placement cursor during the counting sort *)
+  col_tx : int array;  (* transmitter ids, column-major, ascending per column *)
+  far : float array;  (* far-field interference seen from each column *)
+}
+
+let create ~params dual =
+  let p : Reception.sinr = params in
+  let emb =
+    match Dualgraph.Dual.embedding dual with
+    | Some e -> e
+    | None ->
+        invalid_arg
+          "Sinr.create: the SINR reception model needs a Euclidean embedding \
+           (this topology has none)"
+  in
+  let n = Emb.n emb in
+  let px = Array.make (max n 1) 0.0 and py = Array.make (max n 1) 0.0 in
+  for v = 0 to n - 1 do
+    let pt = Emb.point emb v in
+    px.(v) <- pt.Emb.x;
+    py.(v) <- pt.Emb.y
+  done;
+  (* Bucket at the Tile stripe granularity: grid columns of side
+     max r 1.  The column partition is a property of the topology alone,
+     never of the runtime tile count — that is what keeps the far-field
+     aggregate (and so every trace) tiling-invariant. *)
+  let cell = Float.max (Dualgraph.Dual.r dual) 1.0 in
+  let grid = Grid.create ~cell emb in
+  let ncols = Grid.cols grid in
+  let col = Array.make (max n 1) 0 in
+  for v = 0 to n - 1 do
+    col.(v) <- Grid.cell_index grid v mod ncols
+  done;
+  let pw_far = Array.make (max ncols 1) 0.0 in
+  for d = 1 to ncols - 1 do
+    pw_far.(d) <- p.Reception.power *. ((float_of_int d *. cell) ** -.p.Reception.alpha)
+  done;
+  {
+    n;
+    px;
+    py;
+    col;
+    ncols;
+    near = p.Reception.near;
+    power = p.Reception.power;
+    beta = p.Reception.beta;
+    noise = p.Reception.noise;
+    jam = p.Reception.jam;
+    neg_half_alpha = -.p.Reception.alpha /. 2.0;
+    pw_far;
+    cnt = Array.make ncols 0;
+    off = Array.make (ncols + 1) 0;
+    fill = Array.make ncols 0;
+    col_tx = Array.make (max n 1) 0;
+    far = Array.make ncols 0.0;
+  }
+
+let cols t = t.ncols
+
+let load_round t ~transmitters ~count =
+  if count < 0 || count > t.n then invalid_arg "Sinr.load_round: bad count";
+  let cnt = t.cnt and off = t.off and fill = t.fill in
+  Array.fill cnt 0 t.ncols 0;
+  for i = 0 to count - 1 do
+    let c = Array.unsafe_get t.col (Array.unsafe_get transmitters i) in
+    Array.unsafe_set cnt c (Array.unsafe_get cnt c + 1)
+  done;
+  off.(0) <- 0;
+  for c = 0 to t.ncols - 1 do
+    off.(c + 1) <- off.(c) + cnt.(c);
+    fill.(c) <- off.(c)
+  done;
+  (* Stable counting sort: the input is ascending by id, so each
+     column's slice comes out ascending by id too — the canonical
+     accumulation order receive relies on. *)
+  for i = 0 to count - 1 do
+    let w = Array.unsafe_get transmitters i in
+    let c = Array.unsafe_get t.col w in
+    Array.unsafe_set t.col_tx (Array.unsafe_get fill c) w;
+    Array.unsafe_set fill c (Array.unsafe_get fill c + 1)
+  done;
+  (* Far-field table: column i sees count_j transmitters at column-center
+     distance |i - j| * cell for every column beyond the near band.
+     O(cols^2) per round, independent of n and of T. *)
+  for i = 0 to t.ncols - 1 do
+    let s = ref 0.0 in
+    for j = 0 to t.ncols - 1 do
+      let d = abs (j - i) in
+      if d > t.near then
+        s := !s +. (float_of_int (Array.unsafe_get cnt j) *. Array.unsafe_get t.pw_far d)
+    done;
+    Array.unsafe_set t.far i !s
+  done
+
+(* The shared near-band scan: candidate (strongest, first-seen on ties)
+   plus the exact power sum over the band, accumulated in fixed global
+   order — ascending column, then ascending id. *)
+let scan t listener =
+  let cx = Array.unsafe_get t.col listener in
+  let x = Array.unsafe_get t.px listener
+  and y = Array.unsafe_get t.py listener in
+  let lo = max 0 (cx - t.near) and hi = min (t.ncols - 1) (cx + t.near) in
+  let best = ref (-1) and best_pw = ref 0.0 and sum = ref 0.0 in
+  for c = lo to hi do
+    for idx = t.off.(c) to t.off.(c + 1) - 1 do
+      let w = Array.unsafe_get t.col_tx idx in
+      let dx = Array.unsafe_get t.px w -. x
+      and dy = Array.unsafe_get t.py w -. y in
+      let d2 = Float.max ((dx *. dx) +. (dy *. dy)) min_d2 in
+      let pw = t.power *. (d2 ** t.neg_half_alpha) in
+      sum := !sum +. pw;
+      if pw > !best_pw then begin
+        best_pw := pw;
+        best := w
+      end
+    done
+  done;
+  (cx, !best, !best_pw, !sum)
+
+let diag t ~jammed ~listener =
+  let cx, best, best_pw, sum = scan t listener in
+  let floor = t.noise +. (if jammed then t.jam else 0.0) in
+  if best < 0 then (-1, 0.0, t.far.(cx) +. floor)
+  else (best, best_pw, sum -. best_pw +. t.far.(cx) +. floor)
+
+let receive t ~jammed ~listener =
+  let cx, best, best_pw, sum = scan t listener in
+  if best < 0 then -1
+  else begin
+    let floor = t.noise +. (if jammed then t.jam else 0.0) in
+    let interference = sum -. best_pw +. t.far.(cx) +. floor in
+    if best_pw >= t.beta *. interference then best else -2
+  end

@@ -1,0 +1,71 @@
+(** The SINR reception backend: received-power bookkeeping over a
+    topology's Euclidean embedding.
+
+    A {!t} is prepared once per run and reused across rounds; the engine
+    loads each round's transmitter set ({!load_round}) and then asks,
+    per listener, who (if anyone) was decoded ({!receive}).  The answer
+    is a pure function of [(transmitter set, listener, jammed)], so the
+    tiled engine can evaluate listeners from any worker domain in any
+    order and still produce the sequential engine's exact trace.
+
+    {b The power-sum aggregation scheme.}  Received power at distance
+    [d] is [power / d^alpha].  Summing it over every transmitter for
+    every listener is O(T·n) per round, so the field splits the sum at
+    the granularity of the embedding's {!Dualgraph.Grid} columns — the
+    same columns {!Dualgraph.Tile} builds its stripes from, at cell
+    side [max r 1]:
+
+    - {e near field}: transmitters within [near] columns of the
+      listener are summed {e exactly}, bucketed per column by a
+      counting sort (ascending id within a column, columns ascending) —
+      the candidate (strongest transmitter) always comes from this
+      band;
+    - {e far field}: each column beyond the band contributes
+      [count · power / (Δcol · cell)^alpha] — its transmitter count
+      times the power of a single transmitter at the column-center
+      distance — accumulated into a per-column table once per round
+      (O(cols²), independent of n).
+
+    Every sum is accumulated in one fixed global order (columns
+    ascending, ids ascending within a column), never in tile order, so
+    floating-point results — and therefore traces — are bit-identical
+    at any tile count.  [docs/RECEPTION.md] works the scheme and its
+    error envelope; the test suite checks exact agreement with a naive
+    all-pairs sum whenever the band covers the whole field. *)
+
+type t
+
+val create : params:Reception.sinr -> Dualgraph.Dual.t -> t
+(** Prepares the power field: copies the embedding into flat coordinate
+    arrays, assigns each node its grid column, and precomputes the
+    per-distance far-field power table.  O(n + cols); all per-round
+    buffers are allocated here, so rounds allocate nothing.
+
+    @raise Invalid_argument if the dual graph carries no embedding. *)
+
+val cols : t -> int
+(** Number of grid columns the field is bucketed into. *)
+
+val load_round : t -> transmitters:int array -> count:int -> unit
+(** Loads the round's transmitter set — the first [count] slots of
+    [transmitters], which must be strictly ascending node ids (both
+    engines produce them that way).  Buckets them by column and
+    rebuilds the far-field table.  O(T + cols²). *)
+
+val receive : t -> jammed:bool -> listener:int -> int
+(** The loaded round's outcome at [listener] (which must not itself be
+    transmitting): the decoded transmitter's id; [-1] if no transmitter
+    lies within the near band (silence — nothing to decode); [-2] if
+    the strongest in-band transmitter failed the SINR test (drowned —
+    the dual-graph model's collision).  [jammed] adds the model's [jam]
+    noise to the listener's floor — under SINR a jam window degrades
+    the victim's {e reception} instead of suppressing its transmission
+    (see [docs/RECEPTION.md] §4). *)
+
+val diag : t -> jammed:bool -> listener:int -> int * float * float
+(** [(best, signal, interference)] behind the {!receive} verdict:
+    the in-band candidate ([-1] if none), its received signal power,
+    and the denominator — every other transmitter's power (near exact
+    + far aggregated) plus noise plus jam.  [receive] returns [best]
+    iff [signal >= beta · interference].  Exposed for tests and for
+    the worked example in [docs/RECEPTION.md]. *)

@@ -26,8 +26,9 @@ let ibuf_push b x =
    trace-visible serialization (events, notify, records) is produced by
    the coordinator in ascending node order, so the tiling never shows.
    See tiled.mli and DESIGN.md §10 for the determinism argument. *)
-let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles ~dual ~scheduler
-    ~nodes ~env ~rounds () =
+let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles
+    ?(reception = Reception.dual_graph) ~dual ~scheduler ~nodes ~env ~rounds ()
+    =
   (match tiles with
   | Some k when k < 1 -> invalid_arg "Tiled.run: tiles must be >= 1"
   | _ -> ());
@@ -37,8 +38,8 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles ~dual ~scheduler
   in
   if k <= 1 then
     (* The single-domain path is the sequential engine itself. *)
-    Engine.run ?observer ?stop ?sink ?metrics ?faults ?revive ~dual ~scheduler
-      ~nodes ~env ~rounds ()
+    Engine.run ?observer ?stop ?sink ?metrics ?faults ?revive ~reception ~dual
+      ~scheduler ~nodes ~env ~rounds ()
   else begin
     if Array.length nodes <> n then
       invalid_arg "Tiled.run: node array size differs from vertex count";
@@ -66,6 +67,16 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles ~dual ~scheduler
       | Some plan when not (Faults.Plan.has_jams plan) -> fun _ -> false
       | Some plan -> fun v -> Faults.Plan.jammed plan ~node:v ~round:!round
     in
+    (* Reception model, fixed for the run.  Under SINR the field is
+       loaded by the coordinator each round and [Sinr.receive] is a pure
+       function of the loaded state, so tiles may evaluate their
+       listeners in any order — the trace cannot depend on the tiling. *)
+    let sinr_field =
+      match reception with
+      | Reception.Dual_graph -> None
+      | Reception.Sinr p -> Some (Sinr.create ~params:p dual)
+    in
+    let jam_suppresses = Option.is_none sinr_field in
     let g_off = Graph.csr_offsets (Dual.g dual) in
     let g_adj = Graph.csr_neighbors (Dual.g dual) in
     let m = Dual.unreliable_count dual in
@@ -103,6 +114,11 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles ~dual ~scheduler
     A1.fill heard (-1);
     let transmit = Bytes.make n '\000' in
     let tx = Array.init k (fun _ -> ibuf_make ()) in
+    (* SINR only: the round's global transmitter list in ascending id
+       order, and the round's transmitter count — shared with the absorb
+       phase, which must know whether the field was loaded at all. *)
+    let tx_global = Array.make (max n 1) 0 in
+    let tcount = ref 0 in
     let touched = Array.init k (fun _ -> ibuf_make ()) in
     let outbox = Array.init k (fun _ -> Array.init k (fun _ -> ibuf_make ())) in
     let jam_hits = Array.make k 0 in
@@ -140,7 +156,7 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles ~dual ~scheduler
           actions.(v) <- a;
           match a with
           | Process.Transmit _ ->
-              if jammed v then begin
+              if jam_suppresses && jammed v then begin
                 incr jams;
                 Bytes.unsafe_set transmit v '\000'
               end
@@ -184,6 +200,47 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles ~dual ~scheduler
       and delivered = !delivered_r
       and outputs = !outputs_r in
       let tb = touched.(i) in
+      match sinr_field with
+      | Some f ->
+          (* SINR: no halo exchange — nothing is pushed; each tile
+             evaluates its own listeners against the coordinator-loaded
+             global transmitter set.  [heard] is written with the same
+             -2/src encoding so the coordinator's event loop is shared
+             with the dual-graph path. *)
+          let mem = members.(i) in
+          let jams = ref 0 in
+          for idx = 0 to Array.length mem - 1 do
+            let v = Array.unsafe_get mem idx in
+            let d =
+              if is_dead v then None
+              else
+                match actions.(v) with
+                | Process.Transmit _ -> None
+                | Process.Listen ->
+                    if !tcount = 0 then None
+                    else begin
+                      let jam_v = jammed v in
+                      if jam_v then incr jams;
+                      match Sinr.receive f ~jammed:jam_v ~listener:v with
+                      | -1 -> None
+                      | -2 ->
+                          A1.unsafe_set heard v (-2);
+                          ibuf_push tb v;
+                          None
+                      | s ->
+                          A1.unsafe_set heard v s;
+                          ibuf_push tb v;
+                          (match actions.(s) with
+                          | Process.Transmit msg -> Some msg
+                          | Process.Listen -> assert false)
+                    end
+            in
+            delivered.(v) <- d;
+            outputs.(v) <-
+              (if is_dead v then [] else nodes.(v).Process.absorb ~round:t d)
+          done;
+          jam_hits.(i) <- !jams
+      | None ->
       (* Halo exchange: apply foreign transmissions addressed to this
          tile.  Drain order (ascending source tile) is fixed but cannot
          matter — the accumulator fold is commutative. *)
@@ -274,44 +331,72 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles ~dual ~scheduler
             done
           end;
           Parallel.Pool.run pool phase_decide;
+          tcount := 0;
+          for i = 0 to k - 1 do
+            tcount := !tcount + tx.(i).len
+          done;
+          let acount = ref 0 in
+          (match sinr_field with
+          | Some f ->
+              (* The global transmitter list is rebuilt in ascending id
+                 order — the canonical accumulation order — by scanning
+                 the transmit bytes, never by concatenating per-tile
+                 lists (tile stripes do not partition the id space).
+                 The link scheduler is not consulted under SINR, and
+                 nothing is pushed: reception is computed in absorb. *)
+              if !tcount > 0 then begin
+                let j = ref 0 in
+                for v = 0 to n - 1 do
+                  if Bytes.unsafe_get transmit v = '\001' then begin
+                    Array.unsafe_set tx_global !j v;
+                    incr j
+                  end
+                done;
+                Sinr.load_round f ~transmitters:tx_global ~count:!tcount
+              end
+          | None ->
+              if !tcount > 0 && m > 0 then begin
+                acount :=
+                  Scheduler.fill_active_sparse scheduler ~round:t ~m sparse;
+                (match ctr_active with
+                | None -> ()
+                | Some c ->
+                    Obs.Metrics.incr ~by:!acount c;
+                    (match ctr_resolved with
+                    | Some c ->
+                        Obs.Metrics.incr
+                          ~by:
+                            (if Scheduler.resolves_sparsely scheduler then
+                               !acount
+                             else m)
+                          c
+                    | None -> ()));
+                for kk = 0 to !acount - 1 do
+                  let e = Array.unsafe_get sparse kk in
+                  let a = Array.unsafe_get eu e
+                  and b = Array.unsafe_get ev e in
+                  Array.unsafe_set adj_nbr (2 * kk) b;
+                  Array.unsafe_set adj_next (2 * kk)
+                    (Array.unsafe_get adj_head a);
+                  Array.unsafe_set adj_head a (2 * kk);
+                  Array.unsafe_set adj_nbr ((2 * kk) + 1) a;
+                  Array.unsafe_set adj_next ((2 * kk) + 1)
+                    (Array.unsafe_get adj_head b);
+                  Array.unsafe_set adj_head b ((2 * kk) + 1)
+                done
+              end;
+              if !tcount > 0 then Parallel.Pool.run pool phase_push);
+          Parallel.Pool.run pool phase_absorb;
+          (* Jam accounting: under the dual-graph model the decide phase
+             counted suppressed transmitters; under SINR the absorb
+             phase counted jammed listeners in contended rounds.  Either
+             way the per-round total lands on the counter here, at the
+             same round boundary the sequential engine reaches. *)
           (match ctr_jam with
           | Some c ->
               let total = Array.fold_left ( + ) 0 jam_hits in
               if total > 0 then Obs.Metrics.incr ~by:total c
           | None -> ());
-          let tcount = ref 0 in
-          for i = 0 to k - 1 do
-            tcount := !tcount + tx.(i).len
-          done;
-          let acount = ref 0 in
-          if !tcount > 0 && m > 0 then begin
-            acount := Scheduler.fill_active_sparse scheduler ~round:t ~m sparse;
-            (match ctr_active with
-            | None -> ()
-            | Some c ->
-                Obs.Metrics.incr ~by:!acount c;
-                (match ctr_resolved with
-                | Some c ->
-                    Obs.Metrics.incr
-                      ~by:
-                        (if Scheduler.resolves_sparsely scheduler then !acount
-                         else m)
-                      c
-                | None -> ()));
-            for kk = 0 to !acount - 1 do
-              let e = Array.unsafe_get sparse kk in
-              let a = Array.unsafe_get eu e and b = Array.unsafe_get ev e in
-              Array.unsafe_set adj_nbr (2 * kk) b;
-              Array.unsafe_set adj_next (2 * kk) (Array.unsafe_get adj_head a);
-              Array.unsafe_set adj_head a (2 * kk);
-              Array.unsafe_set adj_nbr ((2 * kk) + 1) a;
-              Array.unsafe_set adj_next ((2 * kk) + 1)
-                (Array.unsafe_get adj_head b);
-              Array.unsafe_set adj_head b ((2 * kk) + 1)
-            done
-          end;
-          if !tcount > 0 then Parallel.Pool.run pool phase_push;
-          Parallel.Pool.run pool phase_absorb;
           let deliveries = ref 0 and collisions = ref 0 in
           (match sink with
           | None -> ()

@@ -46,7 +46,18 @@
     Per-node hot state (liveness, on-air bits, reception
     accumulators) lives in flat [Bytes] / [Bigarray] pools rather
     than boxed per-node records, so a 10⁶-node field costs a few
-    dozen bytes per node and the GC never scans the hot arrays. *)
+    dozen bytes per node and the GC never scans the hot arrays.
+
+    {b Reception models.}  Under {!Reception.Sinr} the push phase (and
+    the halo exchange) disappears: the coordinator rebuilds the global
+    transmitter list in ascending id order and loads the shared
+    {!Sinr} field once per round, and each tile's absorb phase
+    evaluates its own listeners with {!Sinr.receive} — a pure function
+    of the loaded state, with every float accumulated in an order
+    fixed by the topology's grid columns, never by the tiling.  Traces
+    therefore stay bit-identical across tile counts under either
+    model; the property suite checks SINR agreement between this
+    engine and {!Engine.run} at several tile counts. *)
 
 val default_tiles : unit -> int
 (** [1 + Parallel.Budget.suggested_extra ()] — the tile count {!run}
@@ -62,6 +73,7 @@ val run :
   ?faults:Faults.Plan.t ->
   ?revive:(node:int -> round:int -> ('msg, 'input, 'output) Process.node) ->
   ?tiles:int ->
+  ?reception:Reception.t ->
   dual:Dualgraph.Dual.t ->
   scheduler:Scheduler.t ->
   nodes:('msg, 'input, 'output) Process.node array ->
@@ -79,6 +91,10 @@ val run :
     An exception raised by a process on any worker domain is
     re-raised here with its backtrace after the in-flight phase
     barrier completes, and the pool is torn down.
+
+    [reception] behaves as in {!Engine.run} (default
+    {!Reception.dual_graph}); the multi-tile SINR path is documented
+    above.
 
     @raise Invalid_argument on the same conditions as {!Engine.run},
     or if [tiles < 1]. *)

@@ -11,7 +11,10 @@
    The corpus spans the scheduler zoo (bernoulli, bernoulli-sparse,
    flicker, edge-phase-flicker, thwart, all-edges, reliable-only) crossed
    with fault-plan shapes (none, crashes, crash+restart, jam windows,
-   seed-derived churn with and without revival).
+   seed-derived churn with and without revival), plus two SINR-reception
+   runs (one clean, one with jam windows and churn) pinning the physical
+   interference backend's scheduling-free reception, its event mapping
+   and its jam-as-noise fault semantics.
 
    Regenerating the corpus (after an intentional semantic change):
 
@@ -40,6 +43,7 @@ type config = {
   p : float;  (** per-round transmit probability of every node *)
   scheduler : seed:int -> Sch.t;
   faults : string option;  (** Plan.of_spec grammar; [None] = no plan *)
+  reception : string;  (** Reception.of_spec grammar *)
 }
 
 let configs =
@@ -52,6 +56,7 @@ let configs =
       p = 0.4;
       scheduler = (fun ~seed -> Sch.bernoulli ~seed ~p:0.5);
       faults = None;
+      reception = "dual";
     };
     {
       name = "bernoulli_crash";
@@ -61,6 +66,7 @@ let configs =
       p = 0.35;
       scheduler = (fun ~seed -> Sch.bernoulli ~seed ~p:0.4);
       faults = Some "crash:2@5;crash:7@11";
+      reception = "dual";
     };
     {
       name = "sparse_crash_restart";
@@ -70,6 +76,7 @@ let configs =
       p = 0.3;
       scheduler = (fun ~seed -> Sch.bernoulli_sparse ~seed ~p:0.3);
       faults = Some "crash:4@6;restart:4@14;crash:9@3;restart:9@20";
+      reception = "dual";
     };
     {
       name = "flicker_jam";
@@ -79,6 +86,7 @@ let configs =
       p = 0.5;
       scheduler = (fun ~seed:_ -> Sch.flicker ~period:6 ~duty:3);
       faults = Some "jam:1@0-10;jam:5@4-12;jam:5@16-20";
+      reception = "dual";
     };
     {
       name = "thwart_crash_jam";
@@ -88,6 +96,7 @@ let configs =
       p = 0.4;
       scheduler = (fun ~seed:_ -> Sch.thwart ~hot:(fun r -> r mod 5 < 2));
       faults = Some "crash:3@7;jam:0@5-15";
+      reception = "dual";
     };
     {
       name = "edge_phase_churn_revive";
@@ -97,6 +106,7 @@ let configs =
       p = 0.35;
       scheduler = (fun ~seed:_ -> Sch.edge_phase_flicker ~period:5);
       faults = Some "churn:0.02,8";
+      reception = "dual";
     };
     {
       name = "all_edges_churn_permanent";
@@ -106,6 +116,7 @@ let configs =
       p = 0.25;
       scheduler = (fun ~seed:_ -> Sch.all_edges);
       faults = Some "churn:0.03";
+      reception = "dual";
     };
     {
       name = "reliable_only_mixed";
@@ -115,6 +126,27 @@ let configs =
       p = 0.45;
       scheduler = (fun ~seed:_ -> Sch.reliable_only);
       faults = Some "crash:2@4;restart:2@9;jam:6@2-8;churn:0.01,10";
+      reception = "dual";
+    };
+    {
+      name = "sinr_no_faults";
+      seed = 19;
+      n = 12;
+      rounds = 30;
+      p = 0.4;
+      scheduler = (fun ~seed -> Sch.bernoulli ~seed ~p:0.5);
+      faults = None;
+      reception = "sinr:alpha=3,beta=1.2,noise=0.02";
+    };
+    {
+      name = "sinr_jam_churn";
+      seed = 20;
+      n = 11;
+      rounds = 32;
+      p = 0.35;
+      scheduler = (fun ~seed:_ -> Sch.reliable_only);
+      faults = Some "jam:3@2-12;jam:8@6-20;churn:0.02,8";
+      reception = "sinr:alpha=3.5,beta=1.5,noise=0.01,jam=500,near=3";
     };
   ]
 
@@ -159,6 +191,11 @@ let run_config c =
         | Ok plan -> Some plan
         | Error e -> Alcotest.failf "config %s: bad fault spec: %s" c.name e)
   in
+  let reception =
+    match Radiosim.Reception.of_spec c.reception with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "config %s: bad reception spec: %s" c.name e
+  in
   let node_rng = Rng.of_int (c.seed + 1) in
   let nodes =
     Array.init n (fun src -> process ~p:c.p ~src ~rng:(Rng.split node_rng))
@@ -167,7 +204,7 @@ let run_config c =
     Obs.Sink.create ~capacity:(max 65536 (c.rounds * ((2 * n) + 8))) ()
   in
   let (_ : int) =
-    Engine.run ~sink ?faults
+    Engine.run ~sink ?faults ~reception
       ~revive:(fun ~node ~round -> revive_of ~seed:c.seed ~p:c.p ~node ~round)
       ~dual
       ~scheduler:(c.scheduler ~seed:c.seed)

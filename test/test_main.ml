@@ -29,4 +29,5 @@ let () =
       ("printers", Test_printers.suite);
       ("stats", Test_stats.suite);
       ("tiled-engine", Test_tiled.suite);
+      ("reception-models", Test_reception.suite);
     ]
