@@ -1,13 +1,16 @@
-(* Experiment E21: the tiled engine at scale.  Constant-density random
-   fields from n = 10^4 to n = 10^6 with one fixed local parameter set
-   (r, transmit p, scheduler p) — so Δ is flat and the per-node
-   per-round cost must be flat too: the engine's round loop is
-   O(n + active edges), never O(n²).  Wall-clock is measured around
-   [Tiled.run] (tiles = 1 delegates to the flat sequential engine;
-   tiles = 2 exercises the halo-exchange path), resident memory is read
-   from /proc/self/status after each run, and a digest cross-check
-   asserts on the spot that the 2-tile trace is identical to the 1-tile
-   trace. *)
+(* Experiments E21/E24: the tiled engine at scale.  Constant-density
+   random fields from n = 10^4 to n = 10^6 with one fixed local
+   parameter set (r, transmit p, scheduler p) — so Δ is flat and the
+   per-node per-round cost must be flat too.  E21 drives the dual-graph
+   reception model (round loop O(n + active edges), never O(n²)); E24
+   drives the same curve under SINR physical interference, where the
+   output-sensitive kernels must keep the cost proportional to the
+   transmitters' footprint rather than to n × cols.  Wall-clock is
+   measured around [Tiled.run] (tiles = 1 delegates to the flat
+   sequential engine; tiles = 2 exercises the parallel path), resident
+   memory is read from /proc/self/status after each run, and a digest
+   cross-check asserts on the spot that the 2-tile trace is identical
+   to the 1-tile trace. *)
 
 open Core
 open Exp_common
@@ -20,7 +23,6 @@ module M = Localcast.Messages
 module Table = Stats.Table
 module Clock = Monotonic_clock
 
-let transmit_p = 0.01
 let sched_p = 0.02
 let r = 1.0
 
@@ -54,7 +56,7 @@ let make_field ~seed ~n =
     ~rng:(Prng.Rng.of_int seed)
     ~n ~width:side ~height:side ~r ~gray_g':0.5 ()
 
-let make_nodes ~seed ~n =
+let make_nodes ~seed ~n ~transmit_p =
   let rng = Prng.Rng.of_int (seed + 1) in
   Array.init n (fun src ->
       Baseline.Uniform.node ~p:transmit_p
@@ -93,48 +95,32 @@ let digest_observer acc record =
    arrays per round is the *instrumentation* cost, not the engine's, and
    at n = 10^6 it dominates.  The trace digest comes from a separate,
    untimed run over identically-seeded state. *)
-let timed_run ~dual ~nodes ~seed ~rounds ~tiles =
+let timed_run ?reception ~name ~dual ~nodes ~seed ~rounds ~tiles () =
   let scheduler = Sch.bernoulli_sparse ~seed ~p:sched_p in
   let t0 = Clock.now () in
   let executed =
-    Tiled.run ~tiles ~dual ~scheduler ~nodes
-      ~env:(Radiosim.Env.null ~name:"e21" ())
+    Tiled.run ?reception ~tiles ~dual ~scheduler ~nodes
+      ~env:(Radiosim.Env.null ~name ())
       ~rounds ()
   in
   let elapsed_ns = Int64.to_float (Int64.sub (Clock.now ()) t0) in
   (executed, elapsed_ns)
 
-let hash_run ~dual ~nodes ~seed ~rounds ~tiles =
+let hash_run ?reception ~name ~dual ~nodes ~seed ~rounds ~tiles () =
   let scheduler = Sch.bernoulli_sparse ~seed ~p:sched_p in
   let hash = ref fnv_init in
   let (_ : int) =
-    Tiled.run
+    Tiled.run ?reception
       ~observer:(digest_observer hash)
       ~tiles ~dual ~scheduler ~nodes
-      ~env:(Radiosim.Env.null ~name:"e21" ())
+      ~env:(Radiosim.Env.null ~name ())
       ~rounds ()
   in
   !hash
 
-let run () =
-  section "E21: tiled engine at scale — flat per-node per-round cost";
-  note
-    "Constant-density fields (1 node per unit^2, r=%.1f, transmit\n\
-     p=%.2f, bernoulli-sparse scheduler p=%.2f) from 10^4 to 10^6\n\
-     nodes.  ns/node/round must stay flat (within 2x) as n grows 100x;\n\
-     tiles=2 additionally exercises the halo-exchange path and must\n\
-     reproduce the tiles=1 trace hash bit-for-bit."
-    r transmit_p sched_p;
-  let sizes =
-    if !quick then [ (2_000, 10, true) ; (8_000, 10, false) ]
-    else [ (10_000, 60, true); (100_000, 30, true); (1_000_000, 24, false) ]
-  in
-  let table =
-    Table.create ~title:"E21: wall-clock and memory per round vs n"
-      ~columns:
-        [ "n"; "tiles"; "rounds"; "ns/node/round"; "vs smallest"; "RSS MB";
-          "trace hash" ]
-  in
+(* One size/tiles sweep shared by E21 and E24: time (min of reps),
+   digest, assert tiles>1 hashes against tiles=1, emit table rows. *)
+let scale_curve ~name ~reception ~transmit_p ~sizes ~table =
   let base_cost = ref None in
   List.iter
     (fun (n, rounds, check_two_tiles) ->
@@ -153,7 +139,9 @@ let run () =
           let best = ref infinity in
           for _ = 1 to reps do
             let executed, elapsed_ns =
-              timed_run ~dual ~nodes:(make_nodes ~seed ~n) ~seed ~rounds ~tiles
+              timed_run ?reception ~name ~dual
+                ~nodes:(make_nodes ~seed ~n ~transmit_p)
+                ~seed ~rounds ~tiles ()
             in
             assert (executed = rounds);
             if elapsed_ns < !best then best := elapsed_ns
@@ -161,15 +149,17 @@ let run () =
           let per_node = !best /. float_of_int (n * rounds) in
           let rss = vm_rss_mb () in
           let hash =
-            hash_run ~dual ~nodes:(make_nodes ~seed ~n) ~seed ~rounds ~tiles
+            hash_run ?reception ~name ~dual
+              ~nodes:(make_nodes ~seed ~n ~transmit_p)
+              ~seed ~rounds ~tiles ()
           in
           (match (tiles, !one_tile_hash) with
           | 1, _ -> one_tile_hash := Some hash
           | _, Some h when h <> hash ->
               failwith
                 (Printf.sprintf
-                   "E21: tiles=%d trace hash diverges from tiles=1 at n=%d"
-                   tiles n)
+                   "%s: tiles=%d trace hash diverges from tiles=1 at n=%d"
+                   name tiles n)
           | _ -> ());
           if tiles = 1 && !base_cost = None then base_cost := Some per_node;
           let vs_base =
@@ -190,10 +180,79 @@ let run () =
               Printf.sprintf "%016x" (hash land max_int);
             ])
         tile_counts)
-    sizes;
+    sizes
+
+let columns =
+  [ "n"; "tiles"; "rounds"; "ns/node/round"; "vs smallest"; "RSS MB";
+    "trace hash" ]
+
+let run () =
+  section "E21: tiled engine at scale — flat per-node per-round cost";
+  note
+    "Constant-density fields (1 node per unit^2, r=%.1f, transmit\n\
+     p=%.2f, bernoulli-sparse scheduler p=%.2f) from 10^4 to 10^6\n\
+     nodes.  ns/node/round must stay flat (within 2x) as n grows 100x;\n\
+     tiles=2 additionally exercises the halo-exchange path and must\n\
+     reproduce the tiles=1 trace hash bit-for-bit."
+    r 0.01 sched_p;
+  let sizes =
+    if !quick then [ (2_000, 10, true) ; (8_000, 10, false) ]
+    else [ (10_000, 60, true); (100_000, 30, true); (1_000_000, 24, false) ]
+  in
+  let table =
+    Table.create ~title:"E21: wall-clock and memory per round vs n" ~columns
+  in
+  scale_curve ~name:"e21" ~reception:None ~transmit_p:0.01 ~sizes ~table;
   Table.print table;
   note
     "Expected: ns/node/round flat within 2x across the full size range\n\
      (the round loop is O(n + active edges) with Δ fixed); tiles=2 rows\n\
      match the tiles=1 trace hash exactly (halo exchange is semantics-\n\
      free); RSS grows linearly in n.\n"
+
+(* E24: the same constant-density curve under SINR physical
+   interference.  Transmit p = 2·10^-4 keeps the expected transmitter
+   count per round proportional to n (2 at 10^4, 200 at 10^6) while
+   staying sparse: the output-sensitive kernels should only ever touch
+   the transmitters' footprint (occupied columns, their near bands, and
+   the listeners inside), so ns/node/round must stay within a small
+   constant of the dual-graph curve even though a dense SINR sweep
+   would be O(n·cols) per round.  Tiles=2 is cross-checked at every
+   size — including 10^6 — because the SINR scan phase partitions slot
+   ranges rather than pushing along edges, a code path E21 never
+   exercises. *)
+let sinr_params = "sinr:alpha=3,beta=1.2,noise=0.02"
+
+let run_e24 () =
+  section "E24: SINR reception at scale — output-sensitive kernels";
+  let reception =
+    match Radiosim.Reception.of_spec sinr_params with
+    | Ok m -> m
+    | Error e -> failwith ("E24: bad reception spec: " ^ e)
+  in
+  note
+    "Constant-density fields (1 node per unit^2, r=%.1f, transmit\n\
+     p=%.4f, bernoulli-sparse scheduler p=%.2f) from 10^4 to 10^6\n\
+     nodes under %s.  The sparse kernels make the\n\
+     round cost proportional to the transmitters' footprint, so\n\
+     ns/node/round must stay within 3x of E21's dual-graph figure at\n\
+     10^6; tiles=2 partitions the SINR scan by slot ranges and must\n\
+     reproduce the tiles=1 trace hash bit-for-bit at every size."
+    r 0.0002 sched_p sinr_params;
+  let sizes =
+    if !quick then [ (2_000, 10, true); (8_000, 10, true) ]
+    else [ (10_000, 60, true); (100_000, 30, true); (1_000_000, 24, true) ]
+  in
+  let table =
+    Table.create ~title:"E24: SINR wall-clock and memory per round vs n"
+      ~columns
+  in
+  scale_curve ~name:"e24" ~reception:(Some reception) ~transmit_p:0.0002
+    ~sizes ~table;
+  Table.print table;
+  note
+    "Expected: ns/node/round flat as n grows 100x and within 3x of the\n\
+     E21 dual-graph curve (the active-column scan touches only the\n\
+     transmitters' footprint); tiles=2 rows match the tiles=1 trace\n\
+     hash exactly at every size (all floats accumulate in grid-column\n\
+     order, never tile order); RSS grows linearly in n.\n"

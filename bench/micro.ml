@@ -1,4 +1,4 @@
-(* M1-M9: Bechamel micro-benchmarks of the core primitives, one per
+(* M1-M13: Bechamel micro-benchmarks of the core primitives, one per
    experiment table in the performance section of EXPERIMENTS.md.  Each
    prints an OLS estimate of nanoseconds per run against the monotonic
    clock; the same estimates are written to BENCH_micro.json so the
@@ -181,6 +181,131 @@ let m8_topology =
            ~rng:(Prng.Rng.of_int !counter)
            ~n:1000 ~width:19.0 ~height:19.0 ~r:1.5 ()))
 
+(* M12/M12b: the SINR reception kernels on a sparse round — the
+   transmitter-centric sparse path (occupied-column far field +
+   active-column batched scans) against the frozen dense reference
+   (per-listener band scan + dense far row for every listener), at the
+   same p = 1/Δ sparse regime as M5/M5b.  The field is constant-density
+   but elongated (32×8 for n = 256, cell 1 → 33 grid columns), so a
+   round's ~1 transmitter activates ~5 of 33 columns: exactly the
+   output-sensitivity the kernels exploit and the dense path cannot.
+   Like M7, this measures the reception kernel alone — engine decide /
+   absorb machinery would dilute both sides equally (M6 carries it). *)
+let m12_n = 256
+
+let m12_dual =
+  Geo.random_field
+    ~rng:(Prng.Rng.of_int 12)
+    ~n:m12_n ~width:32.0 ~height:8.0 ~r:1.0 ~gray_g':0.5 ()
+
+let m12_params =
+  match Radiosim.Reception.sinr ~alpha:3.0 ~beta:1.2 ~noise:0.02 () with
+  | Radiosim.Reception.Sinr p -> p
+  | Radiosim.Reception.Dual_graph -> assert false
+
+(* A fixed cycle of non-empty Bernoulli(1/256) transmitter rounds,
+   shared by both sides: (ascending id array, membership bytes). *)
+let m12_sets =
+  let rng = Prng.Rng.of_int 121 in
+  Array.init 64 (fun i ->
+      let tx =
+        match
+          List.filter
+            (fun _ -> Prng.Rng.bernoulli rng (1.0 /. 256.0))
+            (List.init m12_n Fun.id)
+        with
+        | [] -> [| i * 37 mod m12_n |]
+        | l -> Array.of_list l
+      in
+      let is_tx = Bytes.make m12_n '\000' in
+      Array.iter (fun v -> Bytes.set is_tx v '\001') tx;
+      (tx, is_tx))
+
+let m12_sparse_kernel =
+  let field = Radiosim.Sinr.create ~params:m12_params m12_dual in
+  let soff = Radiosim.Sinr.slot_off field in
+  let snode = Radiosim.Sinr.slot_node field in
+  let round = ref 0 in
+  bench ~name:"M12 SINR sparse round kernel (field-256, p=1/256)" (fun () ->
+      incr round;
+      let tx, is_tx = m12_sets.(!round mod 64) in
+      Radiosim.Sinr.load_round field ~transmitters:tx
+        ~count:(Array.length tx);
+      let act, nact = Radiosim.Sinr.active_columns field in
+      let sink = ref 0 in
+      for a = 0 to nact - 1 do
+        let c = Array.unsafe_get act a in
+        let lo = soff.(c) and hi = soff.(c + 1) in
+        Radiosim.Sinr.scan_slots field ~column:c ~lo ~hi;
+        for s = lo to hi - 1 do
+          let u = Array.unsafe_get snode s in
+          if Bytes.unsafe_get is_tx u = '\000' then
+            sink := !sink + Radiosim.Sinr.verdict field ~jammed:false ~slot:s
+        done
+      done;
+      ignore !sink)
+
+let m12_dense_reference =
+  let field = Radiosim.Sinr.create ~params:m12_params m12_dual in
+  let round = ref 0 in
+  bench ~name:"M12b SINR dense reference (field-256, p=1/256)" (fun () ->
+      incr round;
+      let tx, is_tx = m12_sets.(!round mod 64) in
+      Radiosim.Sinr.load_round field ~transmitters:tx
+        ~count:(Array.length tx);
+      let sink = ref 0 in
+      for u = 0 to m12_n - 1 do
+        if Bytes.unsafe_get is_tx u = '\000' then
+          sink :=
+            !sink + Radiosim.Sinr.receive_reference field ~jammed:false ~listener:u
+      done;
+      ignore !sink)
+
+(* M13/M13b: the far-field load (load_round) alone under 1% vs 100%
+   column occupancy on a many-column field (n = 4096, 256×16, cell 1 →
+   257 columns) — the occupied-column kernel's O(K·cols) against its
+   own worst case, which is the old dense path's every case. *)
+let m13_dual =
+  Geo.random_field
+    ~rng:(Prng.Rng.of_int 13)
+    ~n:4096 ~width:256.0 ~height:16.0 ~r:1.0 ~gray_g':0.5 ()
+
+let m13_field = Radiosim.Sinr.create ~params:m12_params m13_dual
+
+(* All nodes of the given columns, ascending by id. *)
+let m13_tx_of_columns cols =
+  Array.of_list
+    (List.filter
+       (fun v -> List.mem (Radiosim.Sinr.column_of m13_field v) cols)
+       (List.init 4096 Fun.id))
+
+let m13_sparse_occupancy =
+  let tx = m13_tx_of_columns [ 0; 128 ] in
+  bench ~name:"M13 SINR far-field load, 1% column occupancy (field-4096)"
+    (fun () ->
+      Radiosim.Sinr.load_round m13_field ~transmitters:tx
+        ~count:(Array.length tx))
+
+let m13_full_occupancy =
+  (* one transmitter per column: the lowest-id node of each *)
+  let tx =
+    let seen = Bytes.make (Radiosim.Sinr.cols m13_field) '\000' in
+    Array.of_list
+      (List.filter
+         (fun v ->
+           let c = Radiosim.Sinr.column_of m13_field v in
+           if Bytes.get seen c = '\000' then begin
+             Bytes.set seen c '\001';
+             true
+           end
+           else false)
+         (List.init 4096 Fun.id))
+  in
+  bench ~name:"M13b SINR far-field load, 100% column occupancy (field-4096)"
+    (fun () ->
+      Radiosim.Sinr.load_round m13_field ~transmitters:tx
+        ~count:(Array.length tx))
+
 (* M9: the tiled engine's full per-round machinery — pool spawn, the
    three SPMD phases, halo exchange and coordinator serialization — on a
    moderate field at tiles=2.  Sixty-four rounds per run amortize the
@@ -230,18 +355,21 @@ let write_json ~path rows =
   close_out oc
 
 (* Run each thunk until both an iteration floor and a wall-clock floor
-   are met, before Bechamel ever samples it. *)
+   are met, before Bechamel ever samples it; the rough ns/run estimate
+   it returns picks the thunk's measurement window below. *)
 let warmup fn =
-  let deadline = Int64.add (Clock.now ()) 50_000_000L (* 50 ms *) in
+  let start = Clock.now () in
+  let deadline = Int64.add start 50_000_000L (* 50 ms *) in
   let i = ref 0 in
   while !i < 8 || (Int64.compare (Clock.now ()) deadline < 0 && !i < 4096)
   do
     ignore (fn ());
     incr i
-  done
+  done;
+  Int64.to_float (Int64.sub (Clock.now ()) start) /. float_of_int !i
 
 let run () =
-  Exp_common.section "M1-M9: micro-benchmarks (Bechamel, monotonic clock)";
+  Exp_common.section "M1-M13: micro-benchmarks (Bechamel, monotonic clock)";
   let tests =
     [
       m1_engine_round;
@@ -255,6 +383,10 @@ let run () =
       m7_sparse_fill;
       m8_topology;
       m9_tiled_round;
+      m12_sparse_kernel;
+      m12_dense_reference;
+      m13_sparse_occupancy;
+      m13_full_occupancy;
     ]
   in
   (* The quota is the minimum-measurement-time floor: estimates over
@@ -263,6 +395,17 @@ let run () =
   let cfg =
     Benchmark.cfg ~limit:3000
       ~quota:(Time.second (if !Exp_common.quick then 0.5 else 3.0))
+      ~kde:None ()
+  in
+  (* Sub-microsecond thunks (M7b's sparse resolve, M12's kernel on an
+     all-quiet set) need far more samples before the OLS slope separates
+     from clock and scheduler noise: at the default window their fits
+     sat at r² ≈ 0.53–0.57 in the committed snapshot.  Give anything
+     the warmup estimates under ~2 µs a longer quota and a higher
+     sample cap so the batched iterations dominate the jitter. *)
+  let cfg_fast =
+    Benchmark.cfg ~limit:20_000
+      ~quota:(Time.second (if !Exp_common.quick then 1.0 else 10.0))
       ~kde:None ()
   in
   let ols =
@@ -274,7 +417,8 @@ let run () =
       ~columns:[ "benchmark"; "time per run"; "r^2" ]
   in
   let measure_once (test, thunk) =
-    warmup thunk;
+    let est_ns = warmup thunk in
+    let cfg = if est_ns < 2_000.0 then cfg_fast else cfg in
     let results =
       Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
     in

@@ -456,7 +456,30 @@ let scale_cmd =
       value & opt int 100_000
       & info [ "n"; "nodes" ] ~docv:"INT" ~doc:"Number of nodes.")
   in
-  let run seed n rounds tiles =
+  let scale_reception_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reception" ] ~docv:"SPEC"
+          ~doc:
+            "Reception model: 'dual' (the default) or 'sinr[:key=value,...]' \
+             — physical interference over the field's embedding (e.g. \
+             'sinr:alpha=3,beta=1.2,noise=0.02').  The trace hash stays \
+             --tiles-invariant under either model.  See docs/RECEPTION.md.")
+  in
+  let run seed n rounds tiles reception_spec =
+    let reception =
+      match reception_spec with
+      | None -> Radiosim.Reception.dual_graph
+      | Some spec -> (
+          match Radiosim.Reception.of_spec spec with
+          | Ok m ->
+              Format.printf "reception %a@." Radiosim.Reception.pp m;
+              m
+          | Error msg ->
+              Format.eprintf "localcast: bad --reception spec: %s@." msg;
+              exit 2)
+    in
     (* Constant-density field: one node per unit square, r = 1, so Δ is
        independent of n and cost flatness is visible directly. *)
     let side = sqrt (float_of_int n) in
@@ -499,7 +522,7 @@ let scale_cmd =
     in
     let t1 = Unix.gettimeofday () in
     let executed =
-      Radiosim.Tiled.run ~observer ~tiles ~dual
+      Radiosim.Tiled.run ~observer ~tiles ~reception ~dual
         ~scheduler:(Sch.bernoulli_sparse ~seed ~p:0.02)
         ~nodes
         ~env:(Radiosim.Env.null ~name:"scale-smoke" ())
@@ -545,8 +568,10 @@ let scale_cmd =
          "Run the tiled engine on a constant-density field and print \
           wall-clock, resident memory and an order-sensitive trace hash.  \
           The hash is invariant under --tiles; CI compares a 1-tile and a \
-          2-tile run at n=10^5.")
-    Term.(const run $ seed_arg $ scale_n_arg $ rounds_arg $ tiles_arg)
+          2-tile run at n=10^5 under both reception models.")
+    Term.(
+      const run $ seed_arg $ scale_n_arg $ rounds_arg $ tiles_arg
+      $ scale_reception_arg)
 
 let trace_cmd =
   let rounds_arg =

@@ -229,28 +229,50 @@ let run_with ~fill_sparse ~resolved_of ~dual ~nodes ~env ~rounds ?incidence
     (match sinr_field with
     | Some f ->
         if !tcount > 0 then begin
-          (* SINR reception: listener-centric by nature — every
-             listener's outcome is a pure function of the global
-             transmitter set.  The link scheduler is not consulted
-             (interference replaces adversarial edge choice), so no
-             activation set is resolved and [engine.active_edges] does
-             not advance. *)
+          (* SINR reception: every listener's outcome is a pure function
+             of the global transmitter set.  The link scheduler is not
+             consulted (interference replaces adversarial edge choice),
+             so no activation set is resolved and [engine.active_edges]
+             does not advance.  Work is transmitter-centric: only the
+             round's active columns are visited — a listener of an
+             inactive column has no in-band candidate and decodes -1,
+             i.e. its scratch stays exactly as silence left it. *)
           Sinr.load_round f ~transmitters ~count:!tcount;
-          for u = 0 to n - 1 do
-            if (not (Array.unsafe_get transmitting u)) && not (is_dead u)
-            then begin
-              let jam_u = jammed u in
-              (match ctr_jam with
-              | Some c when jam_u -> Obs.Metrics.incr c
-              | _ -> ());
-              match Sinr.receive f ~jammed:jam_u ~listener:u with
-              | -1 -> ()
-              | -2 -> Bytes.unsafe_set collided u '\001'
-              | v -> (
-                  match Array.unsafe_get actions v with
-                  | Process.Transmit msg -> Array.unsafe_set heard u (Some msg)
-                  | Process.Listen -> assert false)
-            end
+          (* The reference path charged faults.jams once per jammed
+             alive listener in every contended round, whether or not
+             anything was in its band; keep that meaning with a
+             dedicated counting pass (gated off unless a plan actually
+             schedules jams — without one the counter stays 0 anyway). *)
+          (match (ctr_jam, faults) with
+          | Some c, Some plan when Faults.Plan.has_jams plan ->
+              for u = 0 to n - 1 do
+                if
+                  (not (Array.unsafe_get transmitting u))
+                  && (not (is_dead u))
+                  && jammed u
+                then Obs.Metrics.incr c
+              done
+          | _ -> ());
+          let act, nact = Sinr.active_columns f in
+          let soff = Sinr.slot_off f and snode = Sinr.slot_node f in
+          for a = 0 to nact - 1 do
+            let c = Array.unsafe_get act a in
+            let lo = Array.unsafe_get soff c
+            and hi = Array.unsafe_get soff (c + 1) in
+            Sinr.scan_slots f ~column:c ~lo ~hi;
+            for s = lo to hi - 1 do
+              let u = Array.unsafe_get snode s in
+              if (not (Array.unsafe_get transmitting u)) && not (is_dead u)
+              then begin
+                match Sinr.verdict f ~jammed:(jammed u) ~slot:s with
+                | -1 -> ()
+                | -2 -> Bytes.unsafe_set collided u '\001'
+                | v -> (
+                    match Array.unsafe_get actions v with
+                    | Process.Transmit msg -> Array.unsafe_set heard u (Some msg)
+                    | Process.Listen -> assert false)
+              end
+            done
           done
         end
     | None ->

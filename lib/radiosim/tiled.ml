@@ -77,6 +77,11 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles
       | Reception.Sinr p -> Some (Sinr.create ~params:p dual)
     in
     let jam_suppresses = Option.is_none sinr_field in
+    let has_jams =
+      match faults with
+      | Some plan -> Faults.Plan.has_jams plan
+      | None -> false
+    in
     let g_off = Graph.csr_offsets (Dual.g dual) in
     let g_adj = Graph.csr_neighbors (Dual.g dual) in
     let m = Dual.unreliable_count dual in
@@ -194,69 +199,90 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles
         done
       done
     in
+    (* SINR reception, transmitter-centric: tile i owns the contiguous
+       slot range [i·n/k, (i+1)·n/k) of the field's column-major
+       listener CSR (the same spatial ranking Tile stripes, so the load
+       split matches the member split), walks only the columns of that
+       range that are active this round, and writes verdicts into
+       [heard] with the dual path's -2/src encoding.  Two tiles sharing
+       a split column scan disjoint slot sub-ranges, so the batched
+       scratch inside [f] is touched race-free; the skip set itself is
+       derived from topology-fixed column data only, never the tiling.
+       Runs only in contended rounds (the coordinator gates the phase on
+       tcount > 0, exactly when the reference path consulted receive). *)
+    let phase_sinr_scan i =
+      match sinr_field with
+      | None -> ()
+      | Some f ->
+          let slo = i * n / k and shi = (i + 1) * n / k in
+          let soff = Sinr.slot_off f and snode = Sinr.slot_node f in
+          let tb = touched.(i) in
+          (* faults.jams charges every jammed alive listener of a
+             contended round, in or out of band — same meaning as the
+             sequential engine's counting pass. *)
+          let jams = ref 0 in
+          if has_jams then
+            for s = slo to shi - 1 do
+              let v = Array.unsafe_get snode s in
+              if
+                Bytes.unsafe_get transmit v = '\000'
+                && (not (is_dead v))
+                && jammed v
+              then incr jams
+            done;
+          jam_hits.(i) <- !jams;
+          let s = ref slo in
+          while !s < shi do
+            let c = Sinr.column_of f (Array.unsafe_get snode !s) in
+            let cend = min shi (Array.unsafe_get soff (c + 1)) in
+            if Sinr.column_active f c then begin
+              Sinr.scan_slots f ~column:c ~lo:!s ~hi:cend;
+              for slot = !s to cend - 1 do
+                let u = Array.unsafe_get snode slot in
+                if Bytes.unsafe_get transmit u = '\000' && not (is_dead u)
+                then begin
+                  match Sinr.verdict f ~jammed:(jammed u) ~slot with
+                  | -1 -> ()
+                  | -2 ->
+                      A1.unsafe_set heard u (-2);
+                      ibuf_push tb u
+                  | src ->
+                      A1.unsafe_set heard u src;
+                      ibuf_push tb u
+                end
+              done
+            end;
+            s := cend
+          done
+    in
     let phase_absorb i =
       let t = !round in
       let actions = !actions_r
       and delivered = !delivered_r
       and outputs = !outputs_r in
       let tb = touched.(i) in
-      match sinr_field with
-      | Some f ->
-          (* SINR: no halo exchange — nothing is pushed; each tile
-             evaluates its own listeners against the coordinator-loaded
-             global transmitter set.  [heard] is written with the same
-             -2/src encoding so the coordinator's event loop is shared
-             with the dual-graph path. *)
-          let mem = members.(i) in
-          let jams = ref 0 in
-          for idx = 0 to Array.length mem - 1 do
-            let v = Array.unsafe_get mem idx in
-            let d =
-              if is_dead v then None
-              else
-                match actions.(v) with
-                | Process.Transmit _ -> None
-                | Process.Listen ->
-                    if !tcount = 0 then None
-                    else begin
-                      let jam_v = jammed v in
-                      if jam_v then incr jams;
-                      match Sinr.receive f ~jammed:jam_v ~listener:v with
-                      | -1 -> None
-                      | -2 ->
-                          A1.unsafe_set heard v (-2);
-                          ibuf_push tb v;
-                          None
-                      | s ->
-                          A1.unsafe_set heard v s;
-                          ibuf_push tb v;
-                          (match actions.(s) with
-                          | Process.Transmit msg -> Some msg
-                          | Process.Listen -> assert false)
-                    end
-            in
-            delivered.(v) <- d;
-            outputs.(v) <-
-              (if is_dead v then [] else nodes.(v).Process.absorb ~round:t d)
-          done;
-          jam_hits.(i) <- !jams
+      (match sinr_field with
+      | Some _ ->
+          (* No halo exchange under SINR: nothing was pushed, and the
+             scan phase already folded every verdict into [heard]. *)
+          ()
       | None ->
-      (* Halo exchange: apply foreign transmissions addressed to this
-         tile.  Drain order (ascending source tile) is fixed but cannot
-         matter — the accumulator fold is commutative. *)
-      for src_tile = 0 to k - 1 do
-        if src_tile <> i then begin
-          let b = outbox.(src_tile).(i) in
-          let j = ref 0 in
-          while !j < b.len do
-            push_local tb
-              (Array.unsafe_get b.data !j)
-              (Array.unsafe_get b.data (!j + 1));
-            j := !j + 2
-          done;
-          b.len <- 0
-        end
-      done;
+          (* Halo exchange: apply foreign transmissions addressed to this
+             tile.  Drain order (ascending source tile) is fixed but cannot
+             matter — the accumulator fold is commutative. *)
+          for src_tile = 0 to k - 1 do
+            if src_tile <> i then begin
+              let b = outbox.(src_tile).(i) in
+              let j = ref 0 in
+              while !j < b.len do
+                push_local tb
+                  (Array.unsafe_get b.data !j)
+                  (Array.unsafe_get b.data (!j + 1));
+                j := !j + 2
+              done;
+              b.len <- 0
+            end
+          done);
       let mem = members.(i) in
       for idx = 0 to Array.length mem - 1 do
         let v = Array.unsafe_get mem idx in
@@ -343,7 +369,8 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles
                  the transmit bytes, never by concatenating per-tile
                  lists (tile stripes do not partition the id space).
                  The link scheduler is not consulted under SINR, and
-                 nothing is pushed: reception is computed in absorb. *)
+                 nothing is pushed: the scan phase resolves reception
+                 over the active columns, then absorb reads [heard]. *)
               if !tcount > 0 then begin
                 let j = ref 0 in
                 for v = 0 to n - 1 do
@@ -352,7 +379,8 @@ let run ?observer ?stop ?sink ?metrics ?faults ?revive ?tiles
                     incr j
                   end
                 done;
-                Sinr.load_round f ~transmitters:tx_global ~count:!tcount
+                Sinr.load_round f ~transmitters:tx_global ~count:!tcount;
+                Parallel.Pool.run pool phase_sinr_scan
               end
           | None ->
               if !tcount > 0 && m > 0 then begin

@@ -370,6 +370,128 @@ let naive_receive ~params ~emb ~transmitters ~listener =
       !best_pw,
       !sum -. !best_pw +. p.Reception.noise )
 
+(* ---------- sparse-kernel guard rails ---------- *)
+
+(* A transmitter exactly on a near-band column boundary: cell = max r 1
+   = 1, a node at x = 0 pins the grid origin, and the transmitter sits
+   at x = 3.0 — the edge between columns 2 and 3 (half-open cells put it
+   in column 3).  Activation, the per-listener path and the batched slot
+   path must all agree with the frozen dense reference. *)
+let test_boundary_column () =
+  let xs = [| 0.0; 0.5; 1.5; 2.5; 3.0; 3.5; 4.5; 5.5 |] in
+  let n = Array.length xs in
+  let emb = Emb.create (Array.map (fun x -> { Emb.x; y = 0.0 }) xs) in
+  (* SINR never reads the link graphs, only the embedding and r — an
+     edgeless pair keeps the fixture minimal (validation skipped: no
+     edges means the r-geographic conditions cannot hold). *)
+  let g = Graph.create ~n ~edges:[] in
+  let dual = Dual.create ~embedding:emb ~r:1.0 ~validate:false ~g ~g':g () in
+  let params =
+    match Reception.sinr ~alpha:3.0 ~beta:1.2 ~noise:0.02 ~near:1 () with
+    | Reception.Sinr p -> p
+    | Reception.Dual_graph -> assert false
+  in
+  let field = Sinr.create ~params dual in
+  let tx = 4 (* x = 3.0 *) in
+  Alcotest.(check int) "cols" 6 (Sinr.cols field);
+  Alcotest.(check int) "boundary transmitter lands in column 3" 3
+    (Sinr.column_of field tx);
+  Sinr.load_round field ~transmitters:[| tx |] ~count:1;
+  List.iter
+    (fun (c, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "column %d active" c)
+        expect
+        (Sinr.column_active field c))
+    [ (0, false); (1, false); (2, true); (3, true); (4, true); (5, false) ];
+  let act, nact = Sinr.active_columns field in
+  Alcotest.(check (list int)) "active list" [ 2; 3; 4 ]
+    (Array.to_list (Array.sub act 0 nact));
+  for u = 0 to n - 1 do
+    if u <> tx then begin
+      let rr = Sinr.receive_reference field ~jammed:false ~listener:u in
+      Alcotest.(check int)
+        (Printf.sprintf "receive(%d) = reference" u)
+        rr
+        (Sinr.receive field ~jammed:false ~listener:u);
+      if not (Sinr.column_active field (Sinr.column_of field u)) then
+        Alcotest.(check int) (Printf.sprintf "skipped listener %d silent" u)
+          (-1) rr
+    end
+  done;
+  let soff = Sinr.slot_off field and snode = Sinr.slot_node field in
+  for c = 0 to Sinr.cols field - 1 do
+    if Sinr.column_active field c then begin
+      Sinr.scan_slots field ~column:c ~lo:soff.(c) ~hi:soff.(c + 1);
+      for s = soff.(c) to soff.(c + 1) - 1 do
+        let u = snode.(s) in
+        if u <> tx then
+          Alcotest.(check int)
+            (Printf.sprintf "verdict at slot %d = reference" s)
+            (Sinr.receive_reference field ~jammed:false ~listener:u)
+            (Sinr.verdict field ~jammed:false ~slot:s)
+      done
+    end
+  done
+
+(* The round kernels allocate nothing at steady state: load_round plus a
+   full active-column sweep (batched scans + verdicts), probed like the
+   Serve engine's zero-allocation loop. *)
+let test_kernel_no_alloc () =
+  let rng = Rng.of_int 4242 in
+  let n = 256 in
+  let dual =
+    Geo.random_field ~rng ~n ~width:16.0 ~height:16.0 ~r:1.0 ~gray_g':0.5 ()
+  in
+  let params =
+    match Reception.sinr ~alpha:3.0 ~beta:1.2 ~noise:0.02 () with
+    | Reception.Sinr p -> p
+    | Reception.Dual_graph -> assert false
+  in
+  let field = Sinr.create ~params dual in
+  (* A cycle of non-empty sparse transmitter sets (ascending ids). *)
+  let sets =
+    Array.init 16 (fun i ->
+        match
+          List.filter
+            (fun _ -> Rng.bernoulli rng (1.0 /. 256.0))
+            (List.init n Fun.id)
+        with
+        | [] -> [| i * 37 mod n |]
+        | l -> Array.of_list l)
+  in
+  let soff = Sinr.slot_off field in
+  let run_round i =
+    let tx = sets.(i mod 16) in
+    Sinr.load_round field ~transmitters:tx ~count:(Array.length tx);
+    let act, nact = Sinr.active_columns field in
+    let sink = ref 0 in
+    for a = 0 to nact - 1 do
+      let c = Array.unsafe_get act a in
+      Sinr.scan_slots field ~column:c ~lo:soff.(c) ~hi:soff.(c + 1);
+      (* reads every slot, transmitters included — pure scratch reads *)
+      for s = soff.(c) to soff.(c + 1) - 1 do
+        sink := !sink + Sinr.verdict field ~jammed:false ~slot:s
+      done
+    done;
+    !sink
+  in
+  for i = 0 to 31 do
+    ignore (run_round i)
+  done;
+  let rounds = 1000 in
+  let w0 = Gc.minor_words () in
+  let acc = ref 0 in
+  for i = 0 to rounds - 1 do
+    acc := !acc + run_round i
+  done;
+  let per_round = (Gc.minor_words () -. w0) /. float_of_int rounds in
+  ignore !acc;
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state kernel allocation (%.3f minor words/round)"
+       per_round)
+    true (per_round < 8.0)
+
 let qcheck_cases =
   let open QCheck in
   [
@@ -474,6 +596,117 @@ let qcheck_cases =
           done;
           !ok
         end);
+    Test.make
+      ~name:
+        "SINR sparse kernels ≡ frozen dense reference: receive, batched \
+         verdicts and the skip set agree on random fields, transmitter sets \
+         and jam flags"
+      ~count:60 small_int
+      (fun seed ->
+        let rng = Rng.of_int (seed + 977) in
+        let n = 3 + Rng.int rng 60 in
+        let r = if Rng.bernoulli rng 0.5 then 1.0 else 1.6 in
+        let dual =
+          Geo.random_field ~rng ~n ~width:9.0 ~height:4.0 ~r ~gray_g':0.5 ()
+        in
+        let params =
+          match
+            Reception.sinr
+              ~alpha:(2.0 +. Rng.float rng 3.0)
+              ~beta:(0.5 +. Rng.float rng 2.0)
+              ~noise:(0.001 +. Rng.float rng 0.1)
+              ~near:(1 + Rng.int rng 3)
+              ()
+          with
+          | Reception.Sinr p -> p
+          | Reception.Dual_graph -> assert false
+        in
+        let field = Sinr.create ~params dual in
+        let transmitters =
+          Array.of_list
+            (List.filter (fun _ -> Rng.bernoulli rng 0.15) (List.init n Fun.id))
+        in
+        let count = Array.length transmitters in
+        if count = 0 then true
+        else begin
+          Sinr.load_round field ~transmitters ~count;
+          let is_tx = Array.make n false in
+          Array.iter (fun v -> is_tx.(v) <- true) transmitters;
+          let jam = Array.init n (fun _ -> Rng.bernoulli rng 0.3) in
+          let ok = ref true in
+          for u = 0 to n - 1 do
+            if not is_tx.(u) then begin
+              let rr = Sinr.receive_reference field ~jammed:jam.(u) ~listener:u in
+              if Sinr.receive field ~jammed:jam.(u) ~listener:u <> rr then
+                ok := false;
+              if
+                (not (Sinr.column_active field (Sinr.column_of field u)))
+                && rr <> -1
+              then ok := false
+            end
+          done;
+          let soff = Sinr.slot_off field and snode = Sinr.slot_node field in
+          let act, nact = Sinr.active_columns field in
+          for a = 0 to nact - 1 do
+            let c = act.(a) in
+            Sinr.scan_slots field ~column:c ~lo:soff.(c) ~hi:soff.(c + 1);
+            for s = soff.(c) to soff.(c + 1) - 1 do
+              let u = snode.(s) in
+              if not is_tx.(u) then
+                if
+                  Sinr.verdict field ~jammed:jam.(u) ~slot:s
+                  <> Sinr.receive_reference field ~jammed:jam.(u) ~listener:u
+                then ok := false
+            done
+          done;
+          !ok
+        end);
+    Test.make
+      ~name:
+        "SINR activation soundness: across successive rounds, no skipped \
+         listener ever has an in-band transmitter"
+      ~count:40 small_int
+      (fun seed ->
+        let rng = Rng.of_int (seed + 5501) in
+        let n = 3 + Rng.int rng 60 in
+        let dual =
+          Geo.random_field ~rng ~n ~width:9.0 ~height:4.0 ~r:1.0 ~gray_g':0.5 ()
+        in
+        let params =
+          match Reception.sinr ~near:(1 + Rng.int rng 3) () with
+          | Reception.Sinr p -> p
+          | Reception.Dual_graph -> assert false
+        in
+        let field = Sinr.create ~params dual in
+        let ok = ref true in
+        (* Several loads on one field: the activation set (and its mark
+           bytes) must track each round's transmitters, not accumulate. *)
+        for _ = 1 to 5 do
+          let transmitters =
+            Array.of_list
+              (List.filter
+                 (fun _ -> Rng.bernoulli rng 0.08)
+                 (List.init n Fun.id))
+          in
+          let count = Array.length transmitters in
+          Sinr.load_round field ~transmitters ~count;
+          for u = 0 to n - 1 do
+            let cu = Sinr.column_of field u in
+            let in_band =
+              Array.exists
+                (fun w -> abs (Sinr.column_of field w - cu) <= params.Reception.near)
+                transmitters
+            in
+            (* active ⟺ some transmitter in band; skipped ⟹ reference
+               decodes silence *)
+            if Sinr.column_active field cu <> in_band then ok := false;
+            if
+              (not (Sinr.column_active field cu))
+              && Sinr.receive_reference field ~jammed:false ~listener:u <> -1
+            then ok := false
+          done
+        done;
+        !ok);
   ]
 
 let suite =
@@ -492,5 +725,9 @@ let suite =
       test_jam_is_additive_noise;
     Alcotest.test_case "received power falls monotonically with distance"
       `Quick test_distance_monotonicity;
+    Alcotest.test_case "transmitter on a near-band column boundary" `Quick
+      test_boundary_column;
+    Alcotest.test_case "round kernels allocate nothing at steady state" `Quick
+      test_kernel_no_alloc;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_cases
