@@ -22,10 +22,14 @@
      E23     reception models: dual-graph vs SINR physical interference
              on the same embeddings (also the reception CI smoke)
      E24     SINR reception at scale: output-sensitive kernels to n = 10^6
+     E25     back-off strategy tournament: strategy x adversary x fault
+             plan x topology, ranked with bootstrap CIs (also the
+             tournament CI smoke: quick mode hard-fails on an ordering
+             inversion in the churn anchor cell)
      obs     observability layer: event stream, metrics artifact, and the
              online auditor cross-checked against Lb_spec (writes
              BENCH_obs.json and BENCH_obs_events.jsonl)
-     micro   Bechamel micro-benchmarks M1-M13 (also writes BENCH_micro.json)
+     micro   Bechamel micro-benchmarks M1-M14 (also writes BENCH_micro.json)
      service serving-engine benchmarks M10-M11 + the 10^6-arrival load
              acceptance run (writes BENCH_service.json)
 
@@ -56,6 +60,7 @@ let groups : (string * (unit -> unit)) list =
     ("e22", Exp_load.run);
     ("e23", Exp_reception.run);
     ("e24", Exp_scale.run_e24);
+    ("e25", Exp_tournament.run);
     ("obs", Exp_obs.run);
     ("micro", Micro.run);
     ("service", Exp_service.run);
@@ -82,7 +87,7 @@ let () =
         Arg.String (fun s -> only := s :: !only),
         "GROUP run only this experiment group (e1-e4, e5-e7, e8, e9, e10, e11, \
          e12, e13, e14, e15, e16, e17, e18, e19, e20, e21, e22, e23, e24, \
-         obs, micro, service); repeatable" );
+         e25, obs, micro, service); repeatable" );
       ("--quick", Arg.Set Exp_common.quick, " reduced trial counts");
       ( "--domains",
         Arg.Int

@@ -1,4 +1,4 @@
-(* M1-M13: Bechamel micro-benchmarks of the core primitives, one per
+(* M1-M14: Bechamel micro-benchmarks of the core primitives, one per
    experiment table in the performance section of EXPERIMENTS.md.  Each
    prints an OLS estimate of nanoseconds per run against the monotonic
    clock; the same estimates are written to BENCH_micro.json so the
@@ -332,6 +332,57 @@ let m9_tiled_round =
       ignore
         (Radiosim.Tiled.run ~tiles:2 ~dual ~scheduler ~nodes ~env ~rounds:64 ()))
 
+(* M14: the strategy layer's hot loop — one decide + feedback pair per
+   round for 1024 rounds of binary exponential back-off, the stateful
+   arm that both draws from the node stream and updates its window
+   every round.  This is what every relay in an E25 cell pays per
+   engine round, isolated from the engine itself. *)
+let m14_strategy_loop =
+  let module S = Baseline.Strategy in
+  let counter = ref 0 in
+  bench ~name:"M14 strategy decide+feedback 1024 rounds (backoff:6)" (fun () ->
+      incr counter;
+      let st =
+        S.init
+          (S.Backoff { max_exp = 6 })
+          ~rng:(S.node_rng ~seed:!counter ~node:0 ())
+          ~node:0
+      in
+      for round = 0 to 1023 do
+        let transmitted = S.decide st ~round in
+        S.feedback st ~round ~heard:(not transmitted)
+      done)
+
+(* M14b: a whole tournament-cell step — 32 engine rounds over a
+   clique-32 relay network (node 0 initially holding, everyone on the
+   decay ladder), pricing the relay wrapper (acquisition state, budget
+   window, feedback plumbing) inside the engine's inner loop.  Relay
+   state is consumed by a run, so nodes are rebuilt per iteration like
+   M2/M3; the 32 rounds amortize that setup. *)
+let m14b_relay_rounds =
+  let module S = Baseline.Strategy in
+  let dual = Geo.clique 32 in
+  let env = Radiosim.Env.null ~name:"bench" () in
+  let counter = ref 0 in
+  bench ~name:"M14b relay engine rounds (clique 32, decay:5, 32 rounds)"
+    (fun () ->
+      incr counter;
+      let seed = !counter in
+      let nodes =
+        Array.init 32 (fun node ->
+            S.relay
+              (S.Decay { levels = 5 })
+              ?initial:
+                (if node = 0 then
+                   Some (Localcast.Messages.payload ~src:0 ~uid:0 ())
+                 else None)
+              ~rng:(S.node_rng ~seed ~node ())
+              ~node ())
+      in
+      ignore
+        (Engine.run ~dual ~scheduler:Sch.reliable_only ~nodes ~env ~rounds:32
+           ()))
+
 (* --- JSON trajectory snapshot ---
 
    The writer escapes through the observability layer's shared
@@ -369,7 +420,7 @@ let warmup fn =
   Int64.to_float (Int64.sub (Clock.now ()) start) /. float_of_int !i
 
 let run () =
-  Exp_common.section "M1-M13: micro-benchmarks (Bechamel, monotonic clock)";
+  Exp_common.section "M1-M14: micro-benchmarks (Bechamel, monotonic clock)";
   let tests =
     [
       m1_engine_round;
@@ -387,6 +438,8 @@ let run () =
       m12_dense_reference;
       m13_sparse_occupancy;
       m13_full_occupancy;
+      m14_strategy_loop;
+      m14b_relay_rounds;
     ]
   in
   (* The quota is the minimum-measurement-time floor: estimates over

@@ -9,6 +9,7 @@
      verify — CI-style specification check, non-zero exit on failure
      scale-smoke — tiled engine at size, with a tiling-invariant trace hash
      serve  — open-loop multi-message serving over the MAC (load smoke)
+     tournament — race back-off strategies (and LBAlg) with ranked tables
 
    Every run is a pure function of --seed, so reported numbers are
    reproducible. *)
@@ -840,6 +841,170 @@ let serve_cmd =
       $ width_arg $ r_arg $ gray_arg $ eps_arg $ load_arg $ workload_arg
       $ policy_arg $ rounds_arg $ queue_cap_arg $ inflight_arg $ ttl_arg)
 
+(* --- tournament --- *)
+
+let tournament_cmd =
+  let module S = Baseline.Strategy in
+  let module T = Baseline.Tournament in
+  let module Rank = Stats.Rank in
+  let trials_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "trials" ] ~docv:"INT"
+          ~doc:"Paired trials per arm (same seeds across arms).")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Fault plan applied verbatim to every trial, in the Faults.Plan \
+             grammar (e.g. churn:0.05,817 or jam:3@0-100), derived from each \
+             trial seed.  Note the sender is not exempt (the E25 bench \
+             cells protect it); a crashed sender usually zeroes lbalg's \
+             coverage.")
+  in
+  let arms_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "arms" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated arms: strategy specs (fixed:P, decay:L, \
+             decay-restart:L, sawtooth:L, backoff:K, slotted:N) and/or \
+             lbalg.  Default: the full zoo sized for the topology, plus \
+             lbalg.")
+  in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Use the adaptive jamming adversary instead of an oblivious \
+             scheduler (LBAlg is skipped: the paper's guarantees are \
+             oblivious-only).")
+  in
+  let run topology scheduler link_p seed n width r gray load trials fault arms
+      adaptive =
+    let dual = make_topology ?load topology ~seed ~n ~width ~r ~gray in
+    let n = Dual.n dual in
+    Format.printf "%a@." Dual.pp dual;
+    let adversary =
+      if adaptive then T.Adaptive_jam
+      else T.Oblivious (fun ~seed -> make_scheduler scheduler ~seed ~p:link_p)
+    in
+    let base = T.arena ~adversary ~dual () in
+    let arena =
+      match fault with
+      | None -> base
+      | Some spec ->
+          let plan_of ~seed =
+            match
+              Faults.Plan.of_spec ~seed ~n ~rounds:base.T.horizon spec
+            with
+            | Ok plan -> plan
+            | Error e ->
+                Format.eprintf "bad --fault spec: %s@." e;
+                exit 2
+          in
+          (* Surface a bad grammar before the trial loop. *)
+          ignore (plan_of ~seed);
+          { base with T.plan_of = Some plan_of }
+    in
+    let arms =
+      match arms with
+      | None -> T.arms ~dual
+      | Some list ->
+          List.map
+            (fun tok ->
+              let tok = String.trim tok in
+              if String.lowercase_ascii tok = "lbalg" then T.Lbalg
+              else
+                match S.parse tok with
+                | Ok t -> T.Strategy t
+                | Error e ->
+                    Format.eprintf "bad --arms entry: %s@." e;
+                    exit 2)
+            (String.split_on_char ',' list)
+    in
+    Format.printf
+      "tournament: %d arm%s x %d paired trial%s, horizon %d rounds, budget \
+       %d, %s adversary%s@."
+      (List.length arms)
+      (if List.length arms = 1 then "" else "s")
+      trials
+      (if trials = 1 then "" else "s")
+      arena.T.horizon arena.T.budget
+      (if adaptive then "adaptive-jam" else "oblivious")
+      (match fault with None -> "" | Some s -> ", faults " ^ s);
+    let label arm =
+      match arm with T.Strategy t -> S.to_spec t | T.Lbalg -> "lbalg"
+    in
+    let cells =
+      List.filter_map
+        (fun arm ->
+          let samples =
+            List.filter_map
+              (fun i -> T.trial arena arm ~seed:(seed + i))
+              (List.init trials (fun i -> i))
+          in
+          if samples = [] then begin
+            Format.printf "  (no samples for %s — skipped)@." (label arm);
+            None
+          end
+          else Some (label arm, samples))
+        arms
+    in
+    if cells = [] then begin
+      Format.eprintf "no arm produced a sample (whole neighborhood dead?)@.";
+      exit 1
+    end;
+    let metric name ~descending project =
+      let ranked =
+        Rank.table ~descending ~tie_eps:1e-9 ~seed:(seed + Hashtbl.hash name)
+          (List.map
+             (fun (l, samples) ->
+               (l, Array.of_list (List.map project samples)))
+             cells)
+      in
+      let table =
+        Stats.Table.create
+          ~title:(Printf.sprintf "%s (%s is better)" name
+                    (if descending then "higher" else "lower"))
+          ~columns:[ "rank"; "arm"; "trials"; "mean [95% CI]" ]
+      in
+      List.iter
+        (fun row ->
+          Stats.Table.add_row table
+            [
+              Stats.Table.cell_int row.Rank.rank;
+              row.Rank.label;
+              Stats.Table.cell_int row.Rank.count;
+              Printf.sprintf "%.3f [%.3f, %.3f]" row.Rank.ci.Rank.mean
+                row.Rank.ci.Rank.lower row.Rank.ci.Rank.upper;
+            ])
+        ranked;
+      Stats.Table.print table
+    in
+    metric "coverage" ~descending:true (fun s -> s.T.coverage);
+    metric "first-reception latency" ~descending:false (fun s -> s.T.latency);
+    metric "transmission cost" ~descending:false (fun s -> s.T.cost)
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:
+         "Race back-off strategies (and LBAlg) on one topology under a \
+          chosen adversary and fault plan: paired-seed trials, one ranked \
+          table per metric (coverage, first-reception latency, transmission \
+          cost) with seeded bootstrap confidence intervals.  The full \
+          strategy x adversary x fault x topology matrix is experiment E25 \
+          (bench/main.exe --only e25).")
+    Term.(
+      const run $ topology_arg $ scheduler_arg $ link_p_arg $ seed_arg $ n_arg
+      $ width_arg $ r_arg $ gray_arg $ load_arg $ trials_arg $ fault_arg
+      $ arms_arg $ adaptive_arg)
+
 let () =
   let doc = "Local broadcast layer for unreliable (dual graph) radio networks" in
   exit
@@ -847,4 +1012,4 @@ let () =
        (Cmd.group
           (Cmd.info "localcast" ~doc)
           [ topo_cmd; seed_cmd; run_cmd; flood_cmd; trace_cmd; verify_cmd;
-            scale_cmd; serve_cmd ]))
+            scale_cmd; serve_cmd; tournament_cmd ]))

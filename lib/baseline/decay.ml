@@ -1,17 +1,8 @@
-let levels_for ~delta' =
-  let rec bits k = if 1 lsl k >= delta' then k else bits (k + 1) in
-  max 1 (bits 0) + 1
+let levels_for = Strategy.levels_for
 
 let node ~levels ~message ~rng =
   if levels < 1 then invalid_arg "Decay.node: levels must be >= 1";
-  let decide ~round _inputs =
-    let level = round mod levels in
-    let p = 1.0 /. float_of_int (1 lsl (level + 1)) in
-    if Prng.Rng.bernoulli rng p then
-      Radiosim.Process.Transmit (Localcast.Messages.Data message)
-    else Radiosim.Process.Listen
-  in
-  { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }
+  Strategy.sender (Strategy.Decay { levels }) ~message ~rng ~node:0
 
 let hot_predicate ~levels ~hot_levels round = round mod levels < hot_levels
 

@@ -1,8 +1,5 @@
 let node ~n ~id ~message =
   if n < 1 || id < 0 || id >= n then invalid_arg "Round_robin.node: bad id/n";
-  let decide ~round _inputs =
-    if round mod n = id then
-      Radiosim.Process.Transmit (Localcast.Messages.Data message)
-    else Radiosim.Process.Listen
-  in
-  { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }
+  (* Slotted never consumes randomness, so any generator will do. *)
+  Strategy.sender (Strategy.Slotted { slots = n }) ~message
+    ~rng:(Prng.Rng.of_int 0) ~node:id

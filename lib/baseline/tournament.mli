@@ -1,0 +1,96 @@
+(** Shared cell semantics for the strategy tournament (experiment E25).
+
+    One tournament {e cell} is (topology, adversary, fault plan, arm):
+    a single broadcast from a designated sender, relayed under one
+    contention strategy — or served by LBAlg — against one link
+    scheduler and one fault plan, measured over the sender's reliable
+    neighborhood.  This module fixes those semantics in one place so the
+    bench matrix ([bench/exp_tournament.ml]), the CI smoke and the CLI
+    [tournament] subcommand cannot drift apart.
+
+    The measurement discipline is experiment E20's, generalized:
+
+    - {e eligibility}: a reliable neighbor of the sender counts iff it
+      is alive at the cell's last round — full-run survivors and
+      crashed-but-restarted returners; a node that ends the run dead is
+      out of scope (matching the survivor-relative {!Localcast.Lb_spec}
+      accounting);
+    - {e coverage}: eligible neighbors that ever cleanly received the
+      sender's payload, over eligible;
+    - {e latency}: mean first-reception round over eligible neighbors,
+      censoring a starved neighbor at the horizon;
+    - {e cost}: transmission decisions charged across {e all} nodes for
+      the whole run ({!Obs.Event.Transmit} count — jammed transmitters
+      are charged, per the fault-plan contract).
+
+    Strategy arms run every node as a {!Strategy.relay} (the sender
+    holds the payload initially) with the retransmission budget of one
+    LBAlg phase — the a-priori budget every ack-free baseline must
+    choose.  The LBAlg arm is {!Localcast.Service.one_shot} on the same
+    seeds, schedules and fault plans.  Determinism: per-node strategy
+    streams come from {!Strategy.node_rng}, so a trial is a pure
+    function of (arena, arm, seed) at any domain count. *)
+
+type adversary =
+  | Oblivious of (seed:int -> Radiosim.Scheduler.t)
+      (** An oblivious link scheduler derived from the trial seed (so
+          paired arms see identical schedules). *)
+  | Adaptive_jam
+      (** {!Radiosim.Adaptive.jam} — the collision-forcing adversary.
+          LBAlg is {e not} run in such arenas ({!supports} is [false]):
+          the paper assumes an oblivious scheduler, and its predecessor
+          work proves local broadcast impossible against this one, so
+          the cell is only meaningful for the back-off family (cf.
+          experiment E13). *)
+
+type arm = Strategy of Strategy.t | Lbalg
+
+val arm_label : arm -> string
+(** The family label used to pair rows {e across} topologies:
+    {!Strategy.name} for strategy arms (their parameters are
+    topology-derived, so specs differ between arenas), ["lbalg"]
+    otherwise. *)
+
+val arms : dual:Dualgraph.Dual.t -> arm list
+(** The canonical arm list for a topology: {!Strategy.zoo} (sized from
+    the topology's [Δ'] and [n]) plus [Lbalg]. *)
+
+type arena = {
+  dual : Dualgraph.Dual.t;
+  params : Localcast.Params.t;
+  sender : int;
+  horizon : int;  (** rounds per trial: the ack window [t_ack] *)
+  budget : int;  (** strategy relay budget: one phase *)
+  adversary : adversary;
+  plan_of : (seed:int -> Faults.Plan.t) option;
+      (** per-trial fault plan, derived from the trial seed; [None]
+          means fault-free *)
+}
+
+val arena :
+  ?sender:int ->
+  ?adversary:adversary ->
+  ?plan_of:(seed:int -> Faults.Plan.t) ->
+  dual:Dualgraph.Dual.t ->
+  unit ->
+  arena
+(** Build an arena with the tournament's standard derivations:
+    [params = Params.of_dual ~eps1:0.1 ~tack_phases:2], horizon
+    [t_ack_rounds], budget one [phase_len] — experiment E20's exact
+    setup.  [adversary] defaults to the Bernoulli(1/2) scheduler
+    derived from each trial seed; [sender] defaults to node 0.
+    @raise Invalid_argument if [sender] is out of range. *)
+
+val supports : arena -> arm -> bool
+(** [false] only for [Lbalg] under {!Adaptive_jam}. *)
+
+type sample = {
+  coverage : float;  (** covered / eligible, in [0, 1] *)
+  latency : float;  (** mean first-reception round, horizon-censored *)
+  cost : float;  (** transmission decisions charged, whole network *)
+}
+
+val trial : arena -> arm -> seed:int -> sample option
+(** Run one cell trial.  [None] when the arm is unsupported in this
+    arena or no neighbor is eligible (the fault plan killed the whole
+    neighborhood) — callers drop such trials from the aggregate. *)

@@ -1,8 +1,4 @@
 let node ~p ~message ~rng =
-  if p < 0.0 || p > 1.0 then invalid_arg "Uniform.node: p must be in [0, 1]";
-  let decide ~round:_ _inputs =
-    if Prng.Rng.bernoulli rng p then
-      Radiosim.Process.Transmit (Localcast.Messages.Data message)
-    else Radiosim.Process.Listen
-  in
-  { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg "Uniform.node: p must be in [0, 1]";
+  Strategy.sender (Strategy.Fixed { p }) ~message ~rng ~node:0

@@ -1,0 +1,53 @@
+(** Ranked-table aggregation with bootstrap confidence intervals.
+
+    The tournament runner (experiment E25) compares many strategy arms
+    on the same metric and needs two things the rest of {!Stats} does
+    not provide: a distribution-free confidence interval on a mean (the
+    latency/coverage/cost samples are nothing like binomial, so
+    {!Ci.wilson} does not apply), and a deterministic competition
+    ranking of labelled sample sets.  Both live here.
+
+    Everything is seeded and deterministic: the bootstrap resamples
+    through {!Prng.Rng}, so a (samples, seed) pair always yields the
+    same interval — the same reproducibility contract as the trial
+    runner itself. *)
+
+type ci = { mean : float; lower : float; upper : float }
+(** A point estimate with a two-sided confidence interval,
+    [lower <= mean <= upper]. *)
+
+val bootstrap :
+  ?replicates:int -> ?confidence:float -> seed:int -> float array -> ci
+(** Percentile bootstrap of the mean: draw [replicates] (default 1000)
+    resamples with replacement, take the empirical
+    [(1 ± confidence) / 2] percentiles (default [confidence = 0.95]) of
+    the resampled means.  Degenerate inputs short-circuit without
+    consuming randomness: a single sample or a zero-variance sample
+    collapses the interval to [{mean = x; lower = x; upper = x}].
+    @raise Invalid_argument on an empty array, on any NaN sample
+    (["Rank.bootstrap: NaN sample"] — same contract as
+    {!Summary.of_array}), on [replicates < 1], or on [confidence]
+    outside [(0, 1)]. *)
+
+type row = { label : string; count : int; ci : ci; rank : int }
+(** One table row: [count] is the sample size behind the estimate,
+    [rank] the 1-based competition rank. *)
+
+val table :
+  ?replicates:int ->
+  ?confidence:float ->
+  ?descending:bool ->
+  ?tie_eps:float ->
+  seed:int ->
+  (string * float array) list ->
+  row list
+(** Rank labelled sample sets by mean.  [descending] (default [false],
+    i.e. smaller-is-better, the right sense for latency and cost; pass
+    [true] for coverage) sets the sort sense; equal means — and means
+    within [tie_eps] (default [0.]) of the running tie-group
+    representative — share a rank, with competition ("1224") numbering.
+    Label order breaks exact ties deterministically, and each row's
+    bootstrap draws from its own stream keyed by [(seed, label)], so a
+    row's interval does not depend on which other rows are present.
+    @raise Invalid_argument on an empty list, duplicate labels, empty or
+    NaN-bearing sample sets, or a negative/NaN [tie_eps]. *)

@@ -153,6 +153,399 @@ let test_thwart_starves_decay () =
   checkb "adversary at least triples decay's latency" true
     (!thwart_total > 3 * !benign_total)
 
+(* ------------------------------------------------------------------ *)
+(* The strategy family behind the refactored baselines (E25).          *)
+
+module S = Baseline.Strategy
+module T = Baseline.Tournament
+
+(* Pre-refactor [Decay.node], [Uniform.node] and [Round_robin.node],
+   copied verbatim: the refactored modules delegate to [Strategy] and
+   must stay round-for-round identical to these frozen oracles. *)
+module Frozen = struct
+  let decay_node ~levels ~message ~rng =
+    if levels < 1 then invalid_arg "Decay.node: levels must be >= 1";
+    let decide ~round _inputs =
+      let level = round mod levels in
+      let p = 1.0 /. float_of_int (1 lsl (level + 1)) in
+      if Prng.Rng.bernoulli rng p then
+        Radiosim.Process.Transmit (Localcast.Messages.Data message)
+      else Radiosim.Process.Listen
+    in
+    { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }
+
+  let uniform_node ~p ~message ~rng =
+    if p < 0.0 || p > 1.0 then invalid_arg "Uniform.node: p must be in [0, 1]";
+    let decide ~round:_ _inputs =
+      if Prng.Rng.bernoulli rng p then
+        Radiosim.Process.Transmit (Localcast.Messages.Data message)
+      else Radiosim.Process.Listen
+    in
+    { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }
+
+  let round_robin_node ~n ~id ~message =
+    if n < 1 || id < 0 || id >= n then invalid_arg "Round_robin.node: bad id/n";
+    let decide ~round _inputs =
+      if round mod n = id then
+        Radiosim.Process.Transmit (Localcast.Messages.Data message)
+      else Radiosim.Process.Listen
+    in
+    { Radiosim.Process.decide; absorb = (fun ~round:_ _ -> []) }
+end
+
+(* Drive [node] for [rounds] rounds like the engine does — decide, then
+   absorb (here: nothing received) — and record the transmit schedule. *)
+let schedule node rounds =
+  List.init rounds (fun round ->
+      let t =
+        match node.P.decide ~round [] with
+        | P.Transmit _ -> true
+        | P.Listen -> false
+      in
+      ignore (node.P.absorb ~round None);
+      t)
+
+let test_strategy_spec_roundtrip () =
+  let specs =
+    [
+      "fixed:0.125";
+      "decay:5";
+      "decay-restart:3";
+      "sawtooth:4";
+      "backoff:6";
+      "slotted:12";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match S.parse s with
+      | Ok t -> Alcotest.check Alcotest.string "roundtrip" s (S.to_spec t)
+      | Error e -> Alcotest.failf "parse %S: %s" s e)
+    specs;
+  (match S.parse "DECAY:5" with
+  | Ok t -> Alcotest.check Alcotest.string "case-insensitive" "decay:5" (S.to_spec t)
+  | Error e -> Alcotest.fail e);
+  Alcotest.check Alcotest.string "name" "decay-restart"
+    (S.name (S.Decay_restart { levels = 3 }));
+  Alcotest.check Alcotest.string "pp" "backoff:2"
+    (Format.asprintf "%a" S.pp (S.Backoff { max_exp = 2 }))
+
+let test_strategy_validate () =
+  let rejected s =
+    match S.parse s with
+    | Error _ -> ()
+    | Ok t -> Alcotest.failf "parse %S unexpectedly accepted %s" s (S.to_spec t)
+  in
+  List.iter rejected
+    [
+      "fixed:1.5";
+      "fixed:-0.1";
+      "fixed:nan";
+      "fixed:";
+      "decay:0";
+      "decay:63";
+      "decay-restart:0";
+      "sawtooth:-1";
+      "backoff:-1";
+      "backoff:63";
+      "slotted:0";
+      "bogus:3";
+      "decay";
+      "decay:2:3";
+    ];
+  Alcotest.check_raises "init validates"
+    (Invalid_argument "Strategy.init: decay: levels must be in [1, 62]")
+    (fun () ->
+      ignore (S.init (S.Decay { levels = 0 }) ~rng:(Rng.of_int 1) ~node:0));
+  Alcotest.check_raises "init node >= 0"
+    (Invalid_argument "Strategy.init: node must be >= 0") (fun () ->
+      ignore (S.init (S.Fixed { p = 0.5 }) ~rng:(Rng.of_int 1) ~node:(-1)))
+
+let test_strategy_decide_monotone () =
+  let st = S.init (S.Fixed { p = 0.5 }) ~rng:(Rng.of_int 2) ~node:0 in
+  ignore (S.decide st ~round:0);
+  ignore (S.decide st ~round:3);
+  Alcotest.check_raises "repeat round"
+    (Invalid_argument "Strategy.decide: rounds must be strictly increasing")
+    (fun () -> ignore (S.decide st ~round:3));
+  Alcotest.check_raises "earlier round"
+    (Invalid_argument "Strategy.decide: rounds must be strictly increasing")
+    (fun () -> ignore (S.decide st ~round:1));
+  let fresh = S.init (S.Fixed { p = 0.5 }) ~rng:(Rng.of_int 2) ~node:0 in
+  Alcotest.check_raises "negative round"
+    (Invalid_argument "Strategy.decide: round must be >= 0") (fun () ->
+      ignore (S.decide fresh ~round:(-1)))
+
+let test_backoff_windows () =
+  (* max_exp = 0 pins the window exponent at 0: transmit w.p. 1 forever. *)
+  let st = S.init (S.Backoff { max_exp = 0 }) ~rng:(Rng.of_int 3) ~node:0 in
+  for round = 0 to 49 do
+    checkb "k=0 always transmits" true (S.decide st ~round)
+  done;
+  (* max_exp = 1: round 0 is the certain k=0 window, then k parks at 1
+     (p = 1/2 per round). *)
+  let st = S.init (S.Backoff { max_exp = 1 }) ~rng:(Rng.of_int 4) ~node:0 in
+  checkb "first round certain" true (S.decide st ~round:0);
+  let c = ref 0 in
+  let rounds = 10_000 in
+  for round = 1 to rounds do
+    if S.decide st ~round then incr c
+  done;
+  checkb "parked rate near 1/2" true
+    (Float.abs ((float_of_int !c /. float_of_int rounds) -. 0.5) < 0.02);
+  (* Decoding a message resets the window: with feedback every round the
+     node never leaves the certain k=0 window. *)
+  let st = S.init (S.Backoff { max_exp = 8 }) ~rng:(Rng.of_int 5) ~node:0 in
+  for round = 0 to 49 do
+    checkb "reset keeps k=0" true (S.decide st ~round);
+    S.feedback st ~round ~heard:true
+  done
+
+let test_decay_restart_feedback () =
+  (* Without feedback the ladder descends and parks at levels-1. *)
+  let st = S.init (S.Decay_restart { levels = 4 }) ~rng:(Rng.of_int 6) ~node:0 in
+  for round = 0 to 9 do
+    ignore (S.decide st ~round);
+    S.feedback st ~round ~heard:false
+  done;
+  let c = ref 0 in
+  let rounds = 16_000 in
+  for round = 10 to 9 + rounds do
+    if S.decide st ~round then incr c
+  done;
+  checkb "parked rate near 1/16" true
+    (Float.abs ((float_of_int !c /. float_of_int rounds) -. 0.0625) < 0.01);
+  (* With a decode every round the ladder restarts from the top. *)
+  let st = S.init (S.Decay_restart { levels = 4 }) ~rng:(Rng.of_int 7) ~node:0 in
+  let c = ref 0 in
+  for round = 0 to rounds - 1 do
+    if S.decide st ~round then incr c;
+    S.feedback st ~round ~heard:true
+  done;
+  checkb "restarted rate near 1/2" true
+    (Float.abs ((float_of_int !c /. float_of_int rounds) -. 0.5) < 0.02)
+
+let test_sawtooth_sweep () =
+  (* levels = 2 sweeps p = 1/4 then 1/2 each epoch: 3/4 per epoch. *)
+  let st = S.init (S.Sawtooth { levels = 2 }) ~rng:(Rng.of_int 8) ~node:0 in
+  let epochs = 8000 in
+  let c = ref 0 in
+  for round = 0 to (2 * epochs) - 1 do
+    if S.decide st ~round then incr c
+  done;
+  let per_epoch = float_of_int !c /. float_of_int epochs in
+  checkb "per-epoch rate near 3/4" true (Float.abs (per_epoch -. 0.75) < 0.05)
+
+let test_strategy_zoo () =
+  let zoo = S.zoo ~delta':8 ~n:12 in
+  Alcotest.check (Alcotest.list Alcotest.string) "zoo arms"
+    [ "fixed:0.125"; "decay:4"; "decay-restart:4"; "sawtooth:4"; "backoff:4";
+      "slotted:12" ]
+    (List.map S.to_spec zoo);
+  List.iter
+    (fun t ->
+      match S.validate t with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "zoo arm %s invalid: %s" (S.to_spec t) e)
+    (S.zoo ~delta':1 ~n:1)
+
+let test_node_rng_streams () =
+  let draws rng = List.init 5 (fun _ -> Rng.bits64 rng) in
+  let a = draws (S.node_rng ~seed:42 ~node:3 ()) in
+  let b = draws (S.node_rng ~seed:42 ~node:3 ()) in
+  checkb "same key, same stream" true (a = b);
+  checkb "different node differs" true
+    (a <> draws (S.node_rng ~seed:42 ~node:4 ()));
+  checkb "different seed differs" true
+    (a <> draws (S.node_rng ~seed:43 ~node:3 ()));
+  checkb "revival round differs" true
+    (a <> draws (S.node_rng ~round:1 ~seed:42 ~node:3 ()))
+
+let test_relay_semantics () =
+  let slotted = S.Slotted { slots = 1 } in
+  (* An initial holder transmits on its schedule from engine round 0 and
+     falls silent once the global budget window closes. *)
+  let holder =
+    S.relay slotted ~initial:(payload 0) ~budget:3
+      ~rng:(S.node_rng ~seed:1 ~node:0 ())
+      ~node:0 ()
+  in
+  Alcotest.check (Alcotest.list Alcotest.bool) "holder budget window"
+    [ true; true; true; false; false ]
+    (schedule holder 5);
+  (* An acquirer stays silent, ignores seed traffic, and starts its local
+     schedule the round after first decoding a data payload. *)
+  let relay =
+    S.relay slotted ~budget:4 ~rng:(S.node_rng ~seed:1 ~node:1 ()) ~node:1 ()
+  in
+  let transmit round =
+    match relay.P.decide ~round [] with
+    | P.Transmit _ -> true
+    | P.Listen -> false
+  in
+  let seed_msg =
+    M.Seed_msg { M.owner = 0; seed = Prng.Bitstring.of_bools [ true ] }
+  in
+  checkb "silent before acquiring" false (transmit 0);
+  ignore (relay.P.absorb ~round:0 (Some seed_msg));
+  checkb "seed traffic does not acquire" false (transmit 1);
+  ignore (relay.P.absorb ~round:1 (Some (M.Data (payload 0))));
+  checkb "relays on local round 0" true (transmit 2);
+  ignore (relay.P.absorb ~round:2 None);
+  checkb "keeps relaying inside the budget" true (transmit 3);
+  ignore (relay.P.absorb ~round:3 None);
+  checkb "global budget silences the relay" false (transmit 4);
+  Alcotest.check_raises "budget >= 0"
+    (Invalid_argument "Strategy.relay: budget must be >= 0") (fun () ->
+      ignore
+        (S.relay slotted ~budget:(-1) ~rng:(Rng.of_int 1) ~node:0 ()))
+
+let test_sender_reuse_restarts_schedule () =
+  (* The micro-benches reuse one baseline node across engine runs; a
+     round going backwards restarts the schedule on the same stream
+     instead of raising. *)
+  let node = Uniform.node ~p:1.0 ~message:(payload 0) ~rng:(Rng.of_int 9) in
+  checki "first run" 10 (count_transmissions node 10);
+  checki "reused run restarts at round 0" 10 (count_transmissions node 10);
+  let node = Round_robin.node ~n:3 ~id:1 ~message:(payload 1) in
+  ignore (count_transmissions node 5);
+  checkb "slot discipline intact after reuse" true
+    (match node.P.decide ~round:1 [] with
+    | P.Transmit _ -> true
+    | P.Listen -> false)
+
+let test_tournament_cell () =
+  let dual = Geo.clique 6 in
+  let arena = T.arena ~dual () in
+  let arms = T.arms ~dual in
+  checki "zoo plus lbalg" 7 (List.length arms);
+  Alcotest.check (Alcotest.list Alcotest.string) "arm labels"
+    [ "fixed"; "decay"; "decay-restart"; "sawtooth"; "backoff"; "slotted";
+      "lbalg" ]
+    (List.map T.arm_label arms);
+  let adaptive = { arena with T.adversary = T.Adaptive_jam } in
+  List.iter
+    (fun arm ->
+      checkb "oblivious supports all" true (T.supports arena arm);
+      checkb "adaptive excludes only lbalg"
+        (T.arm_label arm <> "lbalg")
+        (T.supports adaptive arm))
+    arms;
+  checkb "unsupported trial is None" true
+    (T.trial adaptive T.Lbalg ~seed:1 = None);
+  let arm = T.Strategy (S.Decay { levels = 3 }) in
+  match (T.trial arena arm ~seed:3, T.trial arena arm ~seed:3) with
+  | Some a, Some b ->
+      checkb "trial is a pure function of (arena, arm, seed)" true (a = b);
+      checkb "coverage in [0,1]" true (a.T.coverage >= 0.0 && a.T.coverage <= 1.0);
+      checkb "latency within horizon" true
+        (a.T.latency >= 0.0 && a.T.latency <= float_of_int arena.T.horizon);
+      checkb "cost positive" true (a.T.cost > 0.0)
+  | _ -> Alcotest.fail "trial returned None on a fault-free clique"
+
+(* QCheck generators for the property-test hardening pass. *)
+let strategy_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> S.Fixed { p = float_of_int i /. 16.0 }) (0 -- 16);
+        map (fun l -> S.Decay { levels = l }) (1 -- 8);
+        map (fun l -> S.Decay_restart { levels = l }) (1 -- 8);
+        map (fun l -> S.Sawtooth { levels = l }) (1 -- 8);
+        map (fun k -> S.Backoff { max_exp = k }) (0 -- 8);
+        map (fun s -> S.Slotted { slots = s }) (1 -- 8);
+      ])
+
+let strategy_arb = QCheck.make strategy_gen ~print:S.to_spec
+
+(* The transmit schedule of [spec] at [node] under [seed], replaying the
+   given feedback history ([heard] per round, cycled). *)
+let decisions spec ~seed ~node ~feedback rounds =
+  let st = S.init spec ~rng:(S.node_rng ~seed ~node ()) ~node in
+  let k = Array.length feedback in
+  List.init rounds (fun round ->
+      let d = S.decide st ~round in
+      S.feedback st ~round ~heard:(k > 0 && feedback.(round mod k));
+      d)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"refactored baselines match their frozen oracles" ~count:40
+      (pair small_int (pair (int_range 1 8) (int_range 0 16)))
+      (fun (seed, (levels, p16)) ->
+        let p = float_of_int p16 /. 16.0 in
+        let rounds = 200 in
+        let msg = payload 0 in
+        schedule (Frozen.decay_node ~levels ~message:msg ~rng:(Rng.of_int seed))
+          rounds
+        = schedule (Decay.node ~levels ~message:msg ~rng:(Rng.of_int seed))
+            rounds
+        && schedule (Frozen.uniform_node ~p ~message:msg ~rng:(Rng.of_int seed))
+             rounds
+           = schedule (Uniform.node ~p ~message:msg ~rng:(Rng.of_int seed))
+               rounds
+        && schedule
+             (Frozen.round_robin_node ~n:levels ~id:(p16 mod levels)
+                ~message:msg)
+             rounds
+           = schedule
+               (Round_robin.node ~n:levels ~id:(p16 mod levels) ~message:msg)
+               rounds);
+    Test.make
+      ~name:"decisions are a pure function of (strategy, seed, node, feedback)"
+      ~count:60
+      (pair strategy_arb (pair small_int (pair (int_range 0 20) (list bool))))
+      (fun (spec, (seed, (node, fb))) ->
+        let feedback = Array.of_list fb in
+        decisions spec ~seed ~node ~feedback 120
+        = decisions spec ~seed ~node ~feedback 120);
+    Test.make
+      ~name:"node streams are independent of materialization order" ~count:40
+      (pair strategy_arb small_int)
+      (fun (spec, seed) ->
+        let rounds = 80 in
+        let nodes = [ 0; 1; 2; 3 ] in
+        (* Node-major: each node's full schedule in isolation. *)
+        let isolated =
+          List.map
+            (fun node -> decisions spec ~seed ~node ~feedback:[||] rounds)
+            nodes
+        in
+        (* Round-major: all nodes advanced in lockstep, reverse order. *)
+        let states =
+          List.map
+            (fun node -> S.init spec ~rng:(S.node_rng ~seed ~node ()) ~node)
+            nodes
+        in
+        let interleaved =
+          List.init rounds (fun round ->
+              List.rev_map (fun st -> S.decide st ~round) (List.rev states))
+        in
+        List.for_all2
+          (fun node_idx isolated_schedule ->
+            isolated_schedule
+            = List.map (fun per_round -> List.nth per_round node_idx)
+                interleaved)
+          [ 0; 1; 2; 3 ] isolated);
+    Test.make
+      ~name:"relay with initial+budget is draw-for-draw the budgeted sender"
+      ~count:40
+      (pair small_int (pair (int_range 1 6) (int_range 1 60)))
+      (fun (seed, (levels, budget)) ->
+        let msg = payload 0 in
+        let rng () = S.node_rng ~seed ~node:0 () in
+        let oracle =
+          schedule (Frozen.decay_node ~levels ~message:msg ~rng:(rng ())) budget
+        in
+        let relay =
+          S.relay (S.Decay { levels }) ~initial:msg ~budget ~rng:(rng ())
+            ~node:0 ()
+        in
+        schedule relay (budget + 20)
+        = oracle @ List.init 20 (fun _ -> false));
+  ]
+
 let suite =
   List.map (fun (name, f) -> Alcotest.test_case name `Quick f)
     [
@@ -168,4 +561,16 @@ let suite =
       ("harness starvation", test_harness_starvation);
       ("decay fast without adversary", test_decay_beats_starvation_without_adversary);
       ("thwart starves decay", test_thwart_starves_decay);
+      ("strategy spec roundtrip", test_strategy_spec_roundtrip);
+      ("strategy validation", test_strategy_validate);
+      ("strategy decide monotone", test_strategy_decide_monotone);
+      ("backoff windows", test_backoff_windows);
+      ("decay-restart feedback", test_decay_restart_feedback);
+      ("sawtooth sweep", test_sawtooth_sweep);
+      ("strategy zoo", test_strategy_zoo);
+      ("node_rng streams", test_node_rng_streams);
+      ("relay semantics", test_relay_semantics);
+      ("sender reuse restarts schedule", test_sender_reuse_restarts_schedule);
+      ("tournament cell", test_tournament_cell);
     ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases

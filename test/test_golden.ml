@@ -11,10 +11,14 @@
    The corpus spans the scheduler zoo (bernoulli, bernoulli-sparse,
    flicker, edge-phase-flicker, thwart, all-edges, reliable-only) crossed
    with fault-plan shapes (none, crashes, crash+restart, jam windows,
-   seed-derived churn with and without revival), plus two SINR-reception
+   seed-derived churn with and without revival), two SINR-reception
    runs (one clean, one with jam windows and churn) pinning the physical
    interference backend's scheduling-free reception, its event mapping
-   and its jam-as-noise fault semantics.
+   and its jam-as-noise fault semantics, and two tournament cells
+   (a back-off relay network under jam windows, a sawtooth relay
+   network under churn) pinning the E25 strategy/relay semantics —
+   acquisition, local-round schedules, the global budget window and the
+   counter-mode per-node streams of Baseline.Strategy.
 
    Regenerating the corpus (after an intentional semantic change):
 
@@ -35,12 +39,20 @@ module M = Localcast.Messages
 module Rng = Prng.Rng
 module Plan = Faults.Plan
 
+type processes =
+  | Bernoulli of float
+      (** every node transmits i.i.d. with this per-round probability *)
+  | Relay of { spec : string; budget : int }
+      (** one E25 tournament cell: node 0 initially holds the payload,
+          every node runs [Strategy.relay] under the [Strategy.parse]d
+          spec with the given global budget window *)
+
 type config = {
   name : string;
   seed : int;
   n : int;
   rounds : int;
-  p : float;  (** per-round transmit probability of every node *)
+  processes : processes;
   scheduler : seed:int -> Sch.t;
   faults : string option;  (** Plan.of_spec grammar; [None] = no plan *)
   reception : string;  (** Reception.of_spec grammar *)
@@ -53,7 +65,7 @@ let configs =
       seed = 11;
       n = 10;
       rounds = 30;
-      p = 0.4;
+      processes = Bernoulli 0.4;
       scheduler = (fun ~seed -> Sch.bernoulli ~seed ~p:0.5);
       faults = None;
       reception = "dual";
@@ -63,7 +75,7 @@ let configs =
       seed = 12;
       n = 10;
       rounds = 28;
-      p = 0.35;
+      processes = Bernoulli 0.35;
       scheduler = (fun ~seed -> Sch.bernoulli ~seed ~p:0.4);
       faults = Some "crash:2@5;crash:7@11";
       reception = "dual";
@@ -73,7 +85,7 @@ let configs =
       seed = 13;
       n = 12;
       rounds = 32;
-      p = 0.3;
+      processes = Bernoulli 0.3;
       scheduler = (fun ~seed -> Sch.bernoulli_sparse ~seed ~p:0.3);
       faults = Some "crash:4@6;restart:4@14;crash:9@3;restart:9@20";
       reception = "dual";
@@ -83,7 +95,7 @@ let configs =
       seed = 14;
       n = 9;
       rounds = 24;
-      p = 0.5;
+      processes = Bernoulli 0.5;
       scheduler = (fun ~seed:_ -> Sch.flicker ~period:6 ~duty:3);
       faults = Some "jam:1@0-10;jam:5@4-12;jam:5@16-20";
       reception = "dual";
@@ -93,7 +105,7 @@ let configs =
       seed = 15;
       n = 10;
       rounds = 30;
-      p = 0.4;
+      processes = Bernoulli 0.4;
       scheduler = (fun ~seed:_ -> Sch.thwart ~hot:(fun r -> r mod 5 < 2));
       faults = Some "crash:3@7;jam:0@5-15";
       reception = "dual";
@@ -103,7 +115,7 @@ let configs =
       seed = 16;
       n = 12;
       rounds = 40;
-      p = 0.35;
+      processes = Bernoulli 0.35;
       scheduler = (fun ~seed:_ -> Sch.edge_phase_flicker ~period:5);
       faults = Some "churn:0.02,8";
       reception = "dual";
@@ -113,7 +125,7 @@ let configs =
       seed = 17;
       n = 8;
       rounds = 36;
-      p = 0.25;
+      processes = Bernoulli 0.25;
       scheduler = (fun ~seed:_ -> Sch.all_edges);
       faults = Some "churn:0.03";
       reception = "dual";
@@ -123,7 +135,7 @@ let configs =
       seed = 18;
       n = 11;
       rounds = 32;
-      p = 0.45;
+      processes = Bernoulli 0.45;
       scheduler = (fun ~seed:_ -> Sch.reliable_only);
       faults = Some "crash:2@4;restart:2@9;jam:6@2-8;churn:0.01,10";
       reception = "dual";
@@ -133,7 +145,7 @@ let configs =
       seed = 19;
       n = 12;
       rounds = 30;
-      p = 0.4;
+      processes = Bernoulli 0.4;
       scheduler = (fun ~seed -> Sch.bernoulli ~seed ~p:0.5);
       faults = None;
       reception = "sinr:alpha=3,beta=1.2,noise=0.02";
@@ -143,16 +155,38 @@ let configs =
       seed = 20;
       n = 11;
       rounds = 32;
-      p = 0.35;
+      processes = Bernoulli 0.35;
       scheduler = (fun ~seed:_ -> Sch.reliable_only);
       faults = Some "jam:3@2-12;jam:8@6-20;churn:0.02,8";
       reception = "sinr:alpha=3.5,beta=1.5,noise=0.01,jam=500,near=3";
     };
+    {
+      name = "backoff_relay_jam";
+      seed = 21;
+      n = 10;
+      rounds = 30;
+      processes = Relay { spec = "backoff:4"; budget = 26 };
+      scheduler = (fun ~seed -> Sch.bernoulli ~seed ~p:0.5);
+      faults = Some "jam:2@3-12;jam:6@8-18";
+      reception = "dual";
+    };
+    {
+      name = "sawtooth_relay_churn";
+      seed = 22;
+      n = 12;
+      rounds = 36;
+      processes = Relay { spec = "sawtooth:4"; budget = 30 };
+      scheduler = (fun ~seed:_ -> Sch.edge_phase_flicker ~period:5);
+      faults = Some "churn:0.02,8";
+      reception = "dual";
+    };
   ]
 
-(* The golden processes are deliberately protocol-free: i.i.d. Bernoulli
-   transmitters, so the corpus pins engine/fault/scheduler semantics
-   without churning whenever LBAlg's internals evolve. *)
+(* Most golden processes are deliberately protocol-free: i.i.d.
+   Bernoulli transmitters, so the corpus pins engine/fault/scheduler
+   semantics without churning whenever LBAlg's internals evolve.  The
+   two Relay configs additionally pin the strategy/relay layer that the
+   E25 tournament is built on. *)
 let process ~p ~src ~rng =
   {
     P.decide =
@@ -177,6 +211,11 @@ let revive_of ~seed ~p ~node ~round =
   in
   process ~p ~src:node ~rng:(Rng.create mixed)
 
+let strategy_of ~name spec =
+  match Baseline.Strategy.parse spec with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "config %s: bad strategy spec: %s" name e
+
 let run_config c =
   let rng = Rng.of_int c.seed in
   let dual =
@@ -196,17 +235,38 @@ let run_config c =
     | Ok m -> m
     | Error e -> Alcotest.failf "config %s: bad reception spec: %s" c.name e
   in
-  let node_rng = Rng.of_int (c.seed + 1) in
   let nodes =
-    Array.init n (fun src -> process ~p:c.p ~src ~rng:(Rng.split node_rng))
+    match c.processes with
+    | Bernoulli p ->
+        let node_rng = Rng.of_int (c.seed + 1) in
+        Array.init n (fun src -> process ~p ~src ~rng:(Rng.split node_rng))
+    | Relay { spec; budget } ->
+        let strat = strategy_of ~name:c.name spec in
+        Array.init n (fun node ->
+            Baseline.Strategy.relay strat
+              ?initial:
+                (if node = 0 then Some (M.payload ~src:0 ~uid:0 ()) else None)
+              ~budget
+              ~rng:(Baseline.Strategy.node_rng ~seed:c.seed ~node ())
+              ~node ())
+  in
+  let revive ~node ~round =
+    match c.processes with
+    | Bernoulli p -> revive_of ~seed:c.seed ~p ~node ~round
+    | Relay { spec; budget } ->
+        (* A revived relay has lost the message: fresh strategy state on
+           the node's revival-round stream, silent until it re-acquires. *)
+        Baseline.Strategy.relay
+          (strategy_of ~name:c.name spec)
+          ~budget
+          ~rng:(Baseline.Strategy.node_rng ~round ~seed:c.seed ~node ())
+          ~node ()
   in
   let sink =
     Obs.Sink.create ~capacity:(max 65536 (c.rounds * ((2 * n) + 8))) ()
   in
   let (_ : int) =
-    Engine.run ~sink ?faults ~reception
-      ~revive:(fun ~node ~round -> revive_of ~seed:c.seed ~p:c.p ~node ~round)
-      ~dual
+    Engine.run ~sink ?faults ~reception ~revive ~dual
       ~scheduler:(c.scheduler ~seed:c.seed)
       ~nodes
       ~env:(Radiosim.Env.null ~name:c.name ())

@@ -314,9 +314,167 @@ let test_quantile_reset () =
   Quantile.observe_int q 9;
   checkf "usable after reset" 9.0 (Quantile.quantile q 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* Ranked-table aggregation (Rank), the E25 tournament's aggregator.   *)
+
+module Rank = Stats.Rank
+
+let test_rank_bootstrap_basic () =
+  let samples = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let ci = Rank.bootstrap ~seed:11 samples in
+  checkf "point estimate is the sample mean" 3.0 ci.Rank.mean;
+  checkb "lower <= mean <= upper" true
+    (ci.Rank.lower <= ci.Rank.mean && ci.Rank.mean <= ci.Rank.upper);
+  checkb "interval has width on a spread sample" true
+    (ci.Rank.upper > ci.Rank.lower);
+  checkb "same (samples, seed) reproduces the interval" true
+    (Rank.bootstrap ~seed:11 samples = ci);
+  checkb "wider confidence widens the interval" true
+    (let wide = Rank.bootstrap ~seed:11 ~confidence:0.99 samples in
+     wide.Rank.upper -. wide.Rank.lower >= ci.Rank.upper -. ci.Rank.lower)
+
+let test_rank_bootstrap_degenerate () =
+  (* A single trial and a zero-variance cell both collapse the interval
+     to the mean instead of resampling. *)
+  let single = Rank.bootstrap ~seed:3 [| 42.0 |] in
+  checkb "single sample collapses" true
+    (single = { Rank.mean = 42.0; lower = 42.0; upper = 42.0 });
+  let flat = Rank.bootstrap ~seed:3 [| 7.0; 7.0; 7.0; 7.0 |] in
+  checkb "zero variance collapses" true
+    (flat = { Rank.mean = 7.0; lower = 7.0; upper = 7.0 });
+  (* Degenerate inputs consume no randomness, so the seed is irrelevant. *)
+  checkb "seed-independent when degenerate" true
+    (Rank.bootstrap ~seed:4 [| 7.0; 7.0; 7.0; 7.0 |] = flat)
+
+let test_rank_bootstrap_validation () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Rank.bootstrap: empty samples") (fun () ->
+      ignore (Rank.bootstrap ~seed:1 [||]));
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Rank.bootstrap: NaN sample") (fun () ->
+      ignore (Rank.bootstrap ~seed:1 [| 1.0; Float.nan |]));
+  Alcotest.check_raises "replicates"
+    (Invalid_argument "Rank.bootstrap: replicates must be >= 1") (fun () ->
+      ignore (Rank.bootstrap ~replicates:0 ~seed:1 [| 1.0; 2.0 |]));
+  Alcotest.check_raises "confidence = 1"
+    (Invalid_argument "Rank.bootstrap: confidence must be in (0, 1)")
+    (fun () -> ignore (Rank.bootstrap ~confidence:1.0 ~seed:1 [| 1.0; 2.0 |]));
+  Alcotest.check_raises "confidence NaN"
+    (Invalid_argument "Rank.bootstrap: confidence must be in (0, 1)")
+    (fun () ->
+      ignore (Rank.bootstrap ~confidence:Float.nan ~seed:1 [| 1.0; 2.0 |]))
+
+let ranks rows = List.map (fun r -> (r.Rank.label, r.Rank.rank)) rows
+
+let test_rank_table_order () =
+  let cells = [ ("b", [| 2.0 |]); ("a", [| 1.0 |]); ("c", [| 3.0 |]) ] in
+  Alcotest.(check (list (pair string int)))
+    "ascending (smaller is better)"
+    [ ("a", 1); ("b", 2); ("c", 3) ]
+    (ranks (Rank.table ~seed:5 cells));
+  Alcotest.(check (list (pair string int)))
+    "descending (larger is better)"
+    [ ("c", 1); ("b", 2); ("a", 3) ]
+    (ranks (Rank.table ~descending:true ~seed:5 cells))
+
+let test_rank_table_ties () =
+  (* Exact ties share a rank with competition ("1224") numbering, and
+     label order breaks the sort deterministically. *)
+  let cells =
+    [ ("d", [| 1.0 |]); ("c", [| 1.0 |]); ("b", [| 1.0 |]); ("a", [| 2.0 |]) ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "competition numbering"
+    [ ("b", 1); ("c", 1); ("d", 1); ("a", 4) ]
+    (ranks (Rank.table ~seed:5 cells));
+  (* tie_eps groups near-equal means, measured against the group's
+     representative (its best mean), not pairwise neighbours. *)
+  let near =
+    [ ("a", [| 1.0 |]); ("b", [| 1.04 |]); ("c", [| 1.08 |]); ("d", [| 2.0 |]) ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "tie_eps groups around the representative"
+    [ ("a", 1); ("b", 1); ("c", 3); ("d", 4) ]
+    (ranks (Rank.table ~tie_eps:0.05 ~seed:5 near))
+
+let test_rank_table_single_trial () =
+  (* Single-trial cells are legal: collapsed CIs, counts recorded. *)
+  let rows = Rank.table ~seed:9 [ ("x", [| 3.0 |]); ("y", [| 1.0; 2.0 |]) ] in
+  List.iter
+    (fun r ->
+      match r.Rank.label with
+      | "x" ->
+          checki "count" 1 r.Rank.count;
+          checkb "collapsed" true
+            (r.Rank.ci.Rank.lower = 3.0 && r.Rank.ci.Rank.upper = 3.0)
+      | _ -> checki "count" 2 r.Rank.count)
+    rows
+
+let test_rank_table_row_independence () =
+  (* A row's interval is keyed by (seed, label): it must not change when
+     other rows join or leave the table. *)
+  let samples = [| 1.0; 4.0; 2.0; 8.0; 5.0 |] in
+  let ci_of rows label =
+    (List.find (fun r -> r.Rank.label = label) rows).Rank.ci
+  in
+  let alone = Rank.table ~seed:7 [ ("arm", samples) ] in
+  let crowded =
+    Rank.table ~seed:7
+      [ ("other", [| 9.0; 10.0; 11.0 |]); ("arm", samples) ]
+  in
+  checkb "interval independent of table mates" true
+    (ci_of alone "arm" = ci_of crowded "arm")
+
+let test_rank_table_validation () =
+  Alcotest.check_raises "empty table"
+    (Invalid_argument "Rank.table: empty table") (fun () ->
+      ignore (Rank.table ~seed:1 []));
+  Alcotest.check_raises "duplicate labels"
+    (Invalid_argument "Rank.table: duplicate labels") (fun () ->
+      ignore (Rank.table ~seed:1 [ ("a", [| 1.0 |]); ("a", [| 2.0 |]) ]));
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Rank.table: NaN sample") (fun () ->
+      ignore (Rank.table ~seed:1 [ ("a", [| Float.nan |]) ]));
+  Alcotest.check_raises "empty cell"
+    (Invalid_argument "Rank.table: empty samples") (fun () ->
+      ignore (Rank.table ~seed:1 [ ("a", [||]) ]));
+  Alcotest.check_raises "negative tie_eps"
+    (Invalid_argument "Rank.table: tie_eps must be >= 0") (fun () ->
+      ignore (Rank.table ~tie_eps:(-0.1) ~seed:1 [ ("a", [| 1.0 |]) ]));
+  Alcotest.check_raises "NaN tie_eps"
+    (Invalid_argument "Rank.table: tie_eps must be >= 0") (fun () ->
+      ignore (Rank.table ~tie_eps:Float.nan ~seed:1 [ ("a", [| 1.0 |]) ]))
+
 let qcheck_cases =
   let open QCheck in
   [
+    Test.make ~name:"bootstrap interval brackets the mean and reproduces"
+      ~count:60
+      (pair small_int (list_of_size Gen.(int_range 1 30) (int_range 0 100)))
+      (fun (seed, xs) ->
+        let samples = Array.of_list (List.map float_of_int xs) in
+        let ci = Rank.bootstrap ~seed samples in
+        ci.Rank.lower <= ci.Rank.mean
+        && ci.Rank.mean <= ci.Rank.upper
+        && Rank.bootstrap ~seed samples = ci);
+    Test.make ~name:"table ranks are a permutation-invariant of the cells"
+      ~count:60
+      (pair small_int (int_range 2 8))
+      (fun (seed, k) ->
+        (* Any shuffle of the cells yields identical (label, rank, ci)
+           rows once sorted: ranking is a function of the set. *)
+        let cell i =
+          ( Printf.sprintf "arm%d" i,
+            Array.init 5 (fun j -> float_of_int (((i * 7) + (j * j)) mod 13))
+          )
+        in
+        let cells = List.init k cell in
+        let rotated = List.tl cells @ [ List.hd cells ] in
+        let norm rows =
+          List.sort compare
+            (List.map (fun r -> (r.Rank.label, r.Rank.rank, r.Rank.ci)) rows)
+        in
+        norm (Rank.table ~seed cells) = norm (Rank.table ~seed rotated));
     Test.make ~name:"trials_par equals trials at any domain count" ~count:100
       (triple (int_range 1 8) (int_bound 40) small_int)
       (fun (domains, n, seed) ->
@@ -389,5 +547,13 @@ let suite =
       ("quantile observe_int = observe", test_quantile_observe_int_matches_observe);
       ("quantile validation", test_quantile_validation);
       ("quantile reset", test_quantile_reset);
+      ("rank bootstrap basic", test_rank_bootstrap_basic);
+      ("rank bootstrap degenerate", test_rank_bootstrap_degenerate);
+      ("rank bootstrap validation", test_rank_bootstrap_validation);
+      ("rank table order", test_rank_table_order);
+      ("rank table ties", test_rank_table_ties);
+      ("rank table single trial", test_rank_table_single_trial);
+      ("rank table row independence", test_rank_table_row_independence);
+      ("rank table validation", test_rank_table_validation);
     ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_cases
